@@ -1,0 +1,179 @@
+package repro
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gplus"
+	"repro/internal/hll"
+	"repro/internal/metrics"
+	"repro/internal/san"
+	"repro/internal/stats"
+	"repro/internal/zhel"
+)
+
+// Every figure and in-text statistic of the paper has a benchmark that
+// regenerates it at the quick experiment scale.  The instrumented
+// simulation run behind the measurement figures is cached after the
+// first benchmark touches it, so per-figure numbers reflect the
+// analysis cost, not the simulation cost.
+
+func benchFigure(b *testing.B, id string) {
+	cfg := experiments.QuickConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 && len(fig.Notes) == 0 {
+			b.Fatalf("%s produced an empty figure", id)
+		}
+	}
+}
+
+func BenchmarkFig02NodeGrowth(b *testing.B)         { benchFigure(b, "2") }
+func BenchmarkFig03LinkGrowth(b *testing.B)         { benchFigure(b, "3") }
+func BenchmarkFig04CoreMetrics(b *testing.B)        { benchFigure(b, "4") }
+func BenchmarkFig05DegreeFits(b *testing.B)         { benchFigure(b, "5") }
+func BenchmarkFig06LognormalEvolution(b *testing.B) { benchFigure(b, "6") }
+func BenchmarkFig07aSocialKnn(b *testing.B)         { benchFigure(b, "7a") }
+func BenchmarkFig07bAssortativity(b *testing.B)     { benchFigure(b, "7b") }
+func BenchmarkFig08AttrMetrics(b *testing.B)        { benchFigure(b, "8") }
+func BenchmarkFig09ClusteringByDegree(b *testing.B) { benchFigure(b, "9") }
+func BenchmarkFig10AttrDegreeFits(b *testing.B)     { benchFigure(b, "10") }
+func BenchmarkFig11AttrParamEvolution(b *testing.B) { benchFigure(b, "11") }
+func BenchmarkFig12aAttrKnn(b *testing.B)           { benchFigure(b, "12a") }
+func BenchmarkFig12bAttrAssortativity(b *testing.B) { benchFigure(b, "12b") }
+func BenchmarkFig13AttrInfluence(b *testing.B)      { benchFigure(b, "13") }
+func BenchmarkFig14DegreeByAttr(b *testing.B)       { benchFigure(b, "14") }
+func BenchmarkFig15LikelihoodGrid(b *testing.B)     { benchFigure(b, "15") }
+func BenchmarkFig16ModelDegrees(b *testing.B)       { benchFigure(b, "16") }
+func BenchmarkFig17ModelJDD(b *testing.B)           { benchFigure(b, "17") }
+func BenchmarkFig18Ablations(b *testing.B)          { benchFigure(b, "18") }
+func BenchmarkFig19Applications(b *testing.B)       { benchFigure(b, "19") }
+func BenchmarkTextTriangleCensus(b *testing.B)      { benchFigure(b, "tc") }
+func BenchmarkTextDistanceDist(b *testing.B)        { benchFigure(b, "dist") }
+
+// --- Substrate micro-benchmarks and ablations ----------------------
+
+// BenchmarkGenerateSANModel measures the paper's generative model
+// throughput (node arrivals per op at T=4000).
+func BenchmarkGenerateSANModel(b *testing.B) {
+	p := core.NewDefaultParams(4000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i + 1)
+		core.Generate(p)
+	}
+}
+
+// BenchmarkGenerateZhel measures the baseline generator.
+func BenchmarkGenerateZhel(b *testing.B) {
+	p := zhel.NewDefaultParams(4000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i + 1)
+		zhel.Generate(p)
+	}
+}
+
+// BenchmarkGplusSimulation measures the three-phase reference
+// simulation at DailyBase 100 (~5k users).
+func BenchmarkGplusSimulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := gplus.DefaultConfig()
+		cfg.DailyBase = 100
+		cfg.Seed = uint64(i + 1)
+		gplus.New(cfg).Run(nil)
+	}
+}
+
+// benchAttachment builds a fixed SAN and measures one attachment
+// sample under the given configuration — the LAPA-cost ablation the
+// paper discusses in §7.
+func benchAttachment(b *testing.B, heuristic bool) {
+	p := core.NewDefaultParams(6000)
+	g := core.Generate(p)
+	at := core.NewAttacher(core.AttachLAPA, 1, 200)
+	at.Heuristic = heuristic
+	for i := 0; i < g.NumSocial(); i++ {
+		at.NodeAdded()
+	}
+	g.ForEachSocialEdge(func(u, v san.NodeID) { at.EdgeAdded(v, g.InDegree(v)) })
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at.Sample(g, san.NodeID(i%g.NumSocial()), rng)
+	}
+}
+
+func BenchmarkLAPAExact(b *testing.B)     { benchAttachment(b, false) }
+func BenchmarkLAPAHeuristic(b *testing.B) { benchAttachment(b, true) }
+
+// BenchmarkClusteringExactVsSampled quantifies the Appendix A
+// estimator's advantage.
+func BenchmarkClusteringExact(b *testing.B) {
+	g := core.Generate(core.NewDefaultParams(2000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.AverageSocialClusteringExact(g)
+	}
+}
+
+func BenchmarkClusteringSampled(b *testing.B) {
+	g := core.Generate(core.NewDefaultParams(2000))
+	rng := rand.New(rand.NewPCG(3, 4))
+	k := metrics.SampleSize(0.01, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.AverageSocialClustering(g, k, rng)
+	}
+}
+
+// BenchmarkHyperANF measures the diameter approximation against the
+// exact all-pairs BFS alternative.
+func BenchmarkHyperANF(b *testing.B) {
+	g := core.Generate(core.NewDefaultParams(4000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nf := hll.HyperANF(g, hll.Options{Precision: 7, Seed: uint64(i)})
+		nf.EffectiveDiameter(0.9)
+	}
+}
+
+func BenchmarkExactNeighborhoodFunction(b *testing.B) {
+	g := core.Generate(core.NewDefaultParams(1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hll.ExactNeighborhoodFunction(g)
+	}
+}
+
+// BenchmarkDegreeFitting measures the full model-selection pipeline
+// (lognormal MLE + power-law xmin scan + Vuong comparison).
+func BenchmarkDegreeFitting(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	data := make([]int, 30000)
+	for i := range data {
+		data[i] = stats.LognormalInt(rng, 1.8, 1.2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.SelectModel(data)
+	}
+}
+
+// BenchmarkSANEdgeInsert measures raw graph mutation throughput.
+func BenchmarkSANEdgeInsert(b *testing.B) {
+	g := san.New(100000, 0, b.N)
+	g.AddSocialNodes(100000)
+	rng := rand.New(rand.NewPCG(7, 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddSocialEdge(san.NodeID(rng.IntN(100000)), san.NodeID(rng.IntN(100000)))
+	}
+}

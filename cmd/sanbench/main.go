@@ -1,0 +1,65 @@
+// Command sanbench regenerates the paper's figures on the simulated
+// Google+ dataset and prints each as a text table.
+//
+// Usage:
+//
+//	sanbench -fig 5              # one figure (see -list for IDs)
+//	sanbench -all                # every figure
+//	sanbench -fig 16 -quick      # reduced scale
+//	sanbench -scale 600 -fig 19  # custom gplus arrival scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figID = flag.String("fig", "", "experiment ID to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		quick = flag.Bool("quick", false, "reduced scale (tests/smoke)")
+		scale = flag.Int("scale", 0, "override gplus DailyBase arrival scale")
+		seed  = flag.Uint64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
+		return
+	}
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	ids := []string{}
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *figID != "":
+		ids = []string{*figID}
+	default:
+		fmt.Fprintln(os.Stderr, "specify -fig <id>, -all, or -list")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		fig, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sanbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.Render(fig))
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Evolution of
+// Social-Attribute Networks: Measurements, Modeling, and Implications
+// using Google+" (Gong et al., IMC 2012).
+//
+// The repository-root benchmarks (bench_test.go) regenerate every
+// figure of the paper; the library lives under internal/ (see
+// DESIGN.md for the system inventory) and the runnable entry points
+// under cmd/ and examples/.
+package repro

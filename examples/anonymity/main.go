@@ -1,0 +1,46 @@
+// anonymity reproduces the Figure 19b experiment: circuits built by
+// random walks on a social graph (as in Drac) are attacked by an
+// adversary that compromises nodes; a circuit is broken when both its
+// first and last relays are compromised (end-to-end timing analysis).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/anon"
+	"repro/internal/core"
+	"repro/internal/gplus"
+)
+
+func main() {
+	cfg := gplus.DefaultConfig()
+	cfg.DailyBase = 200
+	sim := gplus.New(cfg)
+	real := sim.Run(nil)
+
+	p := core.NewDefaultParams(real.NumSocial() - 5)
+	p.FocalWeight = 0.1
+	synth := core.Generate(p)
+
+	params := anon.DefaultParams()
+	params.Trials = 150000
+
+	counts := []int{}
+	fracs := []float64{0.005, 0.01, 0.02, 0.04}
+	for _, f := range fracs {
+		counts = append(counts, int(f*float64(real.NumSocial())))
+	}
+	realPts := anon.Sweep(real, counts, params)
+	synthPts := anon.Sweep(synth, counts, params)
+
+	fmt.Println("anonymous communication: P(first and last relay compromised)")
+	fmt.Println("compromised  frac    P(G+)      P(model)   f^2 (indep.)")
+	for i := range realPts {
+		f := fracs[i]
+		fmt.Printf("%11d  %.3f  %.6f  %.6f  %.6f\n",
+			realPts[i].Compromised, f, realPts[i].Probability, synthPts[i].Probability, f*f)
+	}
+	fmt.Println("\npaper: walk correlation and degree capping push the attack")
+	fmt.Println("probability away from the naive f^2; the generative model tracks")
+	fmt.Println("the real topology's curve.")
+}

@@ -1,0 +1,48 @@
+// sybil_defense reproduces the Figure 19a experiment end to end:
+// generate a Google+-like topology, run the SybilLimit analysis on it
+// and on a model-generated synthetic SAN, and compare the number of
+// Sybil identities an adversary gets accepted.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gplus"
+	"repro/internal/sybil"
+)
+
+func main() {
+	// The "real" network: the three-phase Google+ simulation.
+	cfg := gplus.DefaultConfig()
+	cfg.DailyBase = 200
+	sim := gplus.New(cfg)
+	real := sim.Run(nil)
+
+	// A synthetic stand-in from the paper's generative model, at the
+	// same node count (the network-extrapolation use case of §6.2).
+	p := core.NewDefaultParams(real.NumSocial() - 5)
+	p.FocalWeight = 0.1
+	synth := core.Generate(p)
+
+	const w, bound = 10, 100
+	counts := []int{}
+	for _, f := range []float64{0.005, 0.01, 0.02, 0.04} {
+		counts = append(counts, int(f*float64(real.NumSocial())))
+	}
+
+	realPts := sybil.Sweep(real, counts, w, bound, 3000, 11)
+	synthPts := sybil.Sweep(synth, counts, w, bound, 3000, 11)
+
+	fmt.Println("SybilLimit (w=10, degree bound 100)")
+	fmt.Println("compromised  sybils(G+)  sybils(model)  error   escapeP(G+)")
+	for i := range realPts {
+		r, s := realPts[i], synthPts[i]
+		errPct := 100 * float64(s.Sybils-r.Sybils) / float64(r.Sybils)
+		fmt.Printf("%11d  %10d  %13d  %+5.1f%%  %.3f\n",
+			r.Compromised, r.Sybils, s.Sybils, errPct, r.EscapeProb)
+	}
+	fmt.Println("\npaper: the model predicts the Sybil curve within a few percent,")
+	fmt.Println("because accepted Sybils scale with attack edges x route length,")
+	fmt.Println("and the model reproduces the (degree-capped) degree distribution.")
+}

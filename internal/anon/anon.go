@@ -1,0 +1,98 @@
+// Package anon implements the social-network anonymity evaluation of
+// §6.2 (Figure 19b): circuits are built by random walks on the social
+// graph (as in Drac), and an adversary controlling a set of
+// compromised nodes breaks a circuit when both its first and last
+// relays are compromised (end-to-end timing analysis).
+package anon
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/san"
+	"repro/internal/sybil"
+)
+
+// Params configures the attack-probability estimate.
+type Params struct {
+	// WalkLen is the number of relays in a circuit (first .. last).
+	WalkLen int
+	// DegreeBound caps node degrees, as in the SybilLimit experiment.
+	DegreeBound int
+	// Trials is the number of Monte Carlo circuits per point.
+	Trials int
+	Seed   uint64
+}
+
+// DefaultParams mirrors the paper's setup: degree bound 100 and
+// 3-relay circuits.
+func DefaultParams() Params {
+	return Params{WalkLen: 3, DegreeBound: 100, Trials: 200000, Seed: 7}
+}
+
+// AttackProbability estimates P(first and last relay compromised) for
+// circuits built by random walks from uniformly random honest
+// initiators over the degree-bounded undirected social graph.
+func AttackProbability(topo *sybil.Topology, compromised map[san.NodeID]bool, p Params, rng *rand.Rand) float64 {
+	n := topo.NumNodes()
+	if n == 0 || p.WalkLen < 2 {
+		return 0
+	}
+	hits, done := 0, 0
+	for i := 0; i < p.Trials; i++ {
+		u := san.NodeID(rng.IntN(n))
+		if compromised[u] || topo.Degree(u) == 0 {
+			continue
+		}
+		first, last, ok := walkEnds(topo, u, p.WalkLen, rng)
+		if !ok {
+			continue
+		}
+		done++
+		if compromised[first] && compromised[last] {
+			hits++
+		}
+	}
+	if done == 0 {
+		return 0
+	}
+	return float64(hits) / float64(done)
+}
+
+// walkEnds performs a WalkLen-relay random walk and returns the first
+// and last relay.
+func walkEnds(topo *sybil.Topology, u san.NodeID, walkLen int, rng *rand.Rand) (first, last san.NodeID, ok bool) {
+	cur := u
+	for i := 0; i < walkLen; i++ {
+		nbrs := topo.Neighbors(cur)
+		if len(nbrs) == 0 {
+			return 0, 0, false
+		}
+		cur = nbrs[rng.IntN(len(nbrs))]
+		if i == 0 {
+			first = cur
+		}
+	}
+	return first, cur, true
+}
+
+// CurvePoint is one point of the Figure 19b sweep.
+type CurvePoint struct {
+	Compromised int
+	Probability float64
+}
+
+// Sweep computes the attack probability for each compromise count.
+func Sweep(g *san.SAN, counts []int, p Params) []CurvePoint {
+	rng := rand.New(rand.NewPCG(p.Seed, p.Seed^0x510e527fade682d1))
+	topo := sybil.BuildTopology(g, p.DegreeBound, rng)
+	plan := sybil.NewCompromisePlan(topo.NumNodes(), rng)
+	out := make([]CurvePoint, 0, len(counts))
+	for _, c := range counts {
+		comp := plan.Take(c)
+		out = append(out, CurvePoint{
+			Compromised: c,
+			Probability: AttackProbability(topo, comp, p, rng),
+		})
+	}
+	return out
+}

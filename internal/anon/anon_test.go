@@ -1,0 +1,81 @@
+package anon
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/san"
+	"repro/internal/sybil"
+)
+
+// clique builds a complete reciprocal graph: random walks mix in one
+// step, so the attack probability has the closed form f², with f the
+// compromised fraction.
+func clique(n int) *san.SAN {
+	g := san.New(n, 0, n*n)
+	g.AddSocialNodes(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddSocialEdge(san.NodeID(i), san.NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestAttackProbabilityCliqueClosedForm(t *testing.T) {
+	g := clique(60)
+	rng := rand.New(rand.NewPCG(1, 1))
+	topo := sybil.BuildTopology(g, 0, rng)
+	comp := sybil.CompromiseUniform(60, 12, rng) // f = 0.2
+	p := DefaultParams()
+	p.Trials = 100000
+	got := AttackProbability(topo, comp, p, rng)
+	// First and last relay compromised ≈ f² (walk steps nearly
+	// independent on a clique; small corrections from self-avoidance).
+	want := 0.04
+	if math.Abs(got-want) > 0.015 {
+		t.Errorf("clique attack probability = %.4f, want ≈ %.3f", got, want)
+	}
+}
+
+func TestAttackProbabilityZeroWhenNoCompromise(t *testing.T) {
+	g := clique(30)
+	rng := rand.New(rand.NewPCG(2, 2))
+	topo := sybil.BuildTopology(g, 0, rng)
+	p := DefaultParams()
+	p.Trials = 2000
+	if got := AttackProbability(topo, map[san.NodeID]bool{}, p, rng); got != 0 {
+		t.Errorf("attack probability with no compromise = %v", got)
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	g := clique(80)
+	p := DefaultParams()
+	p.Trials = 40000
+	pts := Sweep(g, []int{4, 16, 40}, p)
+	if len(pts) != 3 {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Probability <= pts[i-1].Probability {
+			t.Errorf("attack probability should grow with compromise: %+v", pts)
+		}
+	}
+}
+
+func TestWalkHandlesIsolatedNodes(t *testing.T) {
+	g := san.New(3, 0, 0)
+	g.AddSocialNodes(3) // no edges at all
+	rng := rand.New(rand.NewPCG(3, 3))
+	topo := sybil.BuildTopology(g, 0, rng)
+	p := DefaultParams()
+	p.Trials = 100
+	comp := map[san.NodeID]bool{0: true}
+	if got := AttackProbability(topo, comp, p, rng); got != 0 {
+		t.Errorf("edgeless graph attack probability = %v, want 0", got)
+	}
+}

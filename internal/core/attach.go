@@ -1,0 +1,375 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/san"
+)
+
+// AttachKind selects the link-creation building block of §5.1.
+type AttachKind uint8
+
+const (
+	// AttachUniform chooses targets uniformly at random (α = β = 0).
+	AttachUniform AttachKind = iota
+	// AttachPA is classical preferential attachment: f ∝ (d_in+1)^α.
+	AttachPA
+	// AttachLAPA is Linear Attribute Preferential Attachment:
+	// f ∝ (d_in+1)^α (1 + β a(u,v)).
+	AttachLAPA
+	// AttachPAPA is Power Attribute Preferential Attachment:
+	// f ∝ (d_in+1)^α (1 + a(u,v))^β.
+	AttachPAPA
+)
+
+// String names the attachment kind.
+func (k AttachKind) String() string {
+	switch k {
+	case AttachUniform:
+		return "uniform"
+	case AttachPA:
+		return "PA"
+	case AttachLAPA:
+		return "LAPA"
+	case AttachPAPA:
+		return "PAPA"
+	default:
+		return "unknown"
+	}
+}
+
+// Attacher samples link targets under the attribute-augmented
+// preferential-attachment models.  It maintains Σ_v (d_in(v)+1)^α
+// incrementally, so creating it once and notifying it of every edge
+// keeps sampling cheap.
+//
+// Note on smoothing: the paper writes f ∝ d_in(v)^α, under which
+// zero-indegree nodes can never be chosen and the process stalls at
+// bootstrap.  Like most PA implementations we use d_in(v)+1 ("initial
+// attractiveness one"), which preserves the asymptotics.
+type Attacher struct {
+	Kind  AttachKind
+	Alpha float64
+	Beta  float64
+	// Heuristic enables the §7 approximation: pick one of the source's
+	// attributes at random and run PA within that attribute's members.
+	Heuristic bool
+	// EnumLimit caps the shared-attribute enumeration for the exact
+	// sampler; beyond it the heuristic path is used.  This bounds the
+	// per-link cost when a node holds a very popular attribute (the
+	// O(|V|) cost §7 warns about).  0 means 4000.
+	EnumLimit int
+
+	sumPow float64 // Σ_v (d_in(v)+1)^α over current social nodes
+	maxIn  int     // maximum indegree, for rejection envelopes
+	n      int     // number of social nodes tracked
+	// ballot holds one entry per social edge, naming the edge target.
+	// For α = 1 a uniform draw from (nodes + ballot) samples exactly
+	// ∝ d_in+1 in O(1), avoiding rejection-sampling degeneracy when a
+	// few hubs dominate the indegree mass.
+	ballot []san.NodeID
+}
+
+// NewAttacher builds an attacher for the given model.
+func NewAttacher(kind AttachKind, alpha, beta float64) *Attacher {
+	a := &Attacher{Kind: kind, Alpha: alpha, Beta: beta}
+	switch kind {
+	case AttachUniform:
+		a.Alpha, a.Beta = 0, 0
+	case AttachPA:
+		a.Beta = 0
+	}
+	return a
+}
+
+// NodeAdded must be called when a social node joins the network.
+func (at *Attacher) NodeAdded() {
+	at.n++
+	at.sumPow += 1 // (0+1)^α = 1 for any α
+}
+
+// EdgeAdded must be called after every social edge insertion; v is the
+// edge target whose indegree increased to newIn.
+func (at *Attacher) EdgeAdded(v san.NodeID, newIn int) {
+	at.sumPow += math.Pow(float64(newIn)+1, at.Alpha) - math.Pow(float64(newIn), at.Alpha)
+	if newIn > at.maxIn {
+		at.maxIn = newIn
+	}
+	if at.Alpha == 1 {
+		at.ballot = append(at.ballot, v)
+	}
+}
+
+// bonusFactor returns the multiplicative attribute bonus minus one:
+// LAPA contributes β·a, PAPA contributes (1+a)^β - 1.
+func (at *Attacher) bonusFactor(a int) float64 {
+	if a == 0 {
+		return 0
+	}
+	switch at.Kind {
+	case AttachLAPA:
+		return at.Beta * float64(a)
+	case AttachPAPA:
+		return math.Pow(1+float64(a), at.Beta) - 1
+	default:
+		return 0
+	}
+}
+
+// Sample draws a link target for source u from the current network
+// state under the configured model.  It excludes u itself and existing
+// out-neighbors of u; it returns -1 if no valid target can be found.
+func (at *Attacher) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	n := g.NumSocial()
+	if n < 2 {
+		return -1
+	}
+	attrAware := at.Kind == AttachLAPA || at.Kind == AttachPAPA
+	if attrAware && at.Heuristic {
+		if v := at.sampleHeuristic(g, u, rng); v >= 0 {
+			return v
+		}
+		return at.sampleBase(g, u, rng)
+	}
+	if !attrAware || at.Beta == 0 || g.AttrDegree(u) == 0 {
+		return at.sampleBase(g, u, rng)
+	}
+
+	// Exact mixture sampling: total weight splits into the attribute-
+	// blind base Σ(d+1)^α and the bonus carried by nodes sharing
+	// attributes with u.
+	limit := at.EnumLimit
+	if limit <= 0 {
+		limit = 4000
+	}
+	sharedCount := make(map[san.NodeID]int)
+	enum := 0
+	for _, a := range g.Attrs(u) {
+		members := g.Members(a)
+		enum += len(members)
+		if enum > limit {
+			// Too popular to enumerate exactly; approximate.
+			if v := at.sampleHeuristic(g, u, rng); v >= 0 {
+				return v
+			}
+			return at.sampleBase(g, u, rng)
+		}
+		for _, v := range members {
+			if v != u {
+				sharedCount[v]++
+			}
+		}
+	}
+	// Flatten to a slice ordered by node ID so sampling is
+	// deterministic for a fixed RNG stream (map iteration is not).
+	shared := make([]sharedCand, 0, len(sharedCount))
+	for v, a := range sharedCount {
+		shared = append(shared, sharedCand{v: v, a: a})
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i].v < shared[j].v })
+	var bonusTotal float64
+	for i := range shared {
+		shared[i].w = math.Pow(float64(g.InDegree(shared[i].v))+1, at.Alpha) * at.bonusFactor(shared[i].a)
+		bonusTotal += shared[i].w
+	}
+	baseTotal := at.sumPow - math.Pow(float64(g.InDegree(u))+1, at.Alpha)
+	if baseTotal < 0 {
+		baseTotal = 0
+	}
+	for tries := 0; tries < 64; tries++ {
+		var v san.NodeID
+		if rng.Float64()*(baseTotal+bonusTotal) < bonusTotal {
+			v = pickWeightedShared(shared, bonusTotal, rng)
+		} else {
+			v = at.rejectionBase(g, rng)
+		}
+		if v >= 0 && v != u && !g.HasSocialEdge(u, v) {
+			return v
+		}
+	}
+	return at.fallbackScan(g, u, rng)
+}
+
+// sharedCand is one attribute-sharing candidate with its sampling weight.
+type sharedCand struct {
+	v san.NodeID
+	a int     // number of common attributes
+	w float64 // (d_in+1)^α · bonusFactor(a)
+}
+
+func pickWeightedShared(shared []sharedCand, total float64, rng *rand.Rand) san.NodeID {
+	x := rng.Float64() * total
+	for i := range shared {
+		x -= shared[i].w
+		if x <= 0 {
+			return shared[i].v
+		}
+	}
+	return -1
+}
+
+// SamplePAWindow draws a target ∝ (d_in+1) computed over only the
+// most recent `window` social edges (plus the uniform +1 term over all
+// nodes).  It models attention aging: accounts attract followers while
+// they are visible in streams, then fade.  This truncates the pure-PA
+// power-law tail into the lognormal-like indegree the paper measures
+// on Google+ (Figure 5b).  Only meaningful for Alpha == 1; other
+// exponents fall back to SamplePA.
+func (at *Attacher) SamplePAWindow(g *san.SAN, u san.NodeID, rng *rand.Rand, window int) san.NodeID {
+	if at.Alpha != 1 || window <= 0 || len(at.ballot) == 0 {
+		return at.sampleBase(g, u, rng)
+	}
+	n := g.NumSocial()
+	start := 0
+	if len(at.ballot) > window {
+		start = len(at.ballot) - window
+	}
+	recent := at.ballot[start:]
+	for tries := 0; tries < 64; tries++ {
+		var v san.NodeID
+		if i := rng.IntN(n + len(recent)); i < n {
+			v = san.NodeID(i)
+		} else {
+			v = recent[i-n]
+		}
+		if v != u && !g.HasSocialEdge(u, v) {
+			return v
+		}
+	}
+	return at.fallbackScan(g, u, rng)
+}
+
+// SamplePA draws a target from the attribute-blind base model
+// f ∝ (d_in+1)^α, regardless of the configured Kind.  The Google+
+// simulator uses it for subscriber behavior (following popular
+// accounts without attribute affinity).
+func (at *Attacher) SamplePA(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	return at.sampleBase(g, u, rng)
+}
+
+// sampleBase draws from f ∝ (d_in+1)^α ignoring attributes.
+func (at *Attacher) sampleBase(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	for tries := 0; tries < 64; tries++ {
+		v := at.rejectionBase(g, rng)
+		if v >= 0 && v != u && !g.HasSocialEdge(u, v) {
+			return v
+		}
+	}
+	return at.fallbackScan(g, u, rng)
+}
+
+// rejectionBase samples v with probability ∝ (d_in(v)+1)^α: O(1)
+// ballot sampling for the linear case, rejection against the envelope
+// (maxIn+1)^α otherwise.
+func (at *Attacher) rejectionBase(g *san.SAN, rng *rand.Rand) san.NodeID {
+	n := g.NumSocial()
+	if n == 0 {
+		return -1
+	}
+	if at.Alpha == 0 {
+		return san.NodeID(rng.IntN(n))
+	}
+	if at.Alpha == 1 {
+		// Weight d+1 decomposes into "every node once" (the +1) plus
+		// "every in-edge once" (the d): draw from the union.
+		i := rng.IntN(n + len(at.ballot))
+		if i < n {
+			return san.NodeID(i)
+		}
+		return at.ballot[i-n]
+	}
+	env := math.Pow(float64(at.maxIn)+1, at.Alpha)
+	for tries := 0; tries < 1024; tries++ {
+		v := san.NodeID(rng.IntN(n))
+		w := math.Pow(float64(g.InDegree(v))+1, at.Alpha)
+		if rng.Float64()*env <= w {
+			return v
+		}
+	}
+	return san.NodeID(rng.IntN(n))
+}
+
+// sampleHeuristic implements the §7 LAPA approximation: pick one of
+// u's attributes uniformly at random and run preferential attachment
+// within that attribute's member list.  Returns -1 when u has no
+// usable attribute.
+func (at *Attacher) sampleHeuristic(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	attrs := g.Attrs(u)
+	if len(attrs) == 0 {
+		return -1
+	}
+	a := attrs[rng.IntN(len(attrs))]
+	members := g.Members(a)
+	if len(members) < 2 {
+		return -1
+	}
+	// Mix between the attribute community and the global base so the
+	// heuristic, like exact LAPA, can still reach non-sharing nodes.
+	maxIn := 0
+	for _, v := range members {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	env := math.Pow(float64(maxIn)+1, at.Alpha)
+	for tries := 0; tries < 256; tries++ {
+		v := members[rng.IntN(len(members))]
+		if v == u || g.HasSocialEdge(u, v) {
+			continue
+		}
+		w := math.Pow(float64(g.InDegree(v))+1, at.Alpha)
+		if rng.Float64()*env <= w {
+			return v
+		}
+	}
+	return -1
+}
+
+// fallbackScan linearly scans for any valid target, used only when
+// rejection repeatedly failed (e.g. u already links to almost everyone).
+func (at *Attacher) fallbackScan(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	n := g.NumSocial()
+	start := rng.IntN(n)
+	for i := 0; i < n; i++ {
+		v := san.NodeID((start + i) % n)
+		if v != u && !g.HasSocialEdge(u, v) {
+			return v
+		}
+	}
+	return -1
+}
+
+// LogProb returns the exact log-probability that the model picks v as
+// the target for source u in the current network state, marginalizing
+// over the full candidate set.  O(|Vs|): used by the likelihood
+// experiments, not the generator.
+func (at *Attacher) LogProb(g *san.SAN, u, v san.NodeID, alpha, beta float64, kind AttachKind) float64 {
+	var total, chosen float64
+	n := g.NumSocial()
+	for w := 0; w < n; w++ {
+		if san.NodeID(w) == u {
+			continue
+		}
+		f := math.Pow(float64(g.InDegree(san.NodeID(w)))+1, alpha)
+		if kind == AttachLAPA || kind == AttachPAPA {
+			if a := g.CommonAttrs(u, san.NodeID(w)); a > 0 {
+				switch kind {
+				case AttachLAPA:
+					f *= 1 + beta*float64(a)
+				case AttachPAPA:
+					f *= math.Pow(1+float64(a), beta)
+				}
+			}
+		}
+		total += f
+		if san.NodeID(w) == v {
+			chosen = f
+		}
+	}
+	if chosen == 0 || total == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(chosen / total)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/san"
+)
+
+// ClosingKind selects the triangle-closing building block of §5.2.
+type ClosingKind uint8
+
+const (
+	// CloseBaseline picks a node uniformly from the 2-hop social
+	// neighborhood of the source.
+	CloseBaseline ClosingKind = iota
+	// CloseRR is Random-Random: a uniform social neighbor w, then a
+	// uniform social neighbor of w.
+	CloseRR
+	// CloseRRSAN is Random-Random-SAN: the first hop is drawn from the
+	// union of social and attribute neighbors (enabling focal closure),
+	// the second from w's social neighbors.
+	CloseRRSAN
+)
+
+// String names the closing kind.
+func (k ClosingKind) String() string {
+	switch k {
+	case CloseBaseline:
+		return "baseline"
+	case CloseRR:
+		return "RR"
+	case CloseRRSAN:
+		return "RR-SAN"
+	default:
+		return "unknown"
+	}
+}
+
+// Closer samples triangle-closing targets.
+type Closer struct {
+	Kind ClosingKind
+	// FocalWeight (fc) scales the probability mass of attribute
+	// neighbors in the RR-SAN first hop: an attribute neighbor carries
+	// weight fc relative to a social neighbor's weight 1.  fc = 1 is
+	// the plain uniform union of §5.2; fc = 0 disables focal closure
+	// (recovering RR); Figure 19 sweeps fc.
+	FocalWeight float64
+}
+
+// Sample draws a triangle-closing target for u, excluding u itself and
+// existing out-neighbors.  It returns -1 when u's 2-hop neighborhood
+// has no valid candidate (callers fall back to preferential attachment).
+func (c *Closer) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	switch c.Kind {
+	case CloseBaseline:
+		return c.sampleBaseline(g, u, rng)
+	default:
+		return c.sampleRR(g, u, rng)
+	}
+}
+
+func (c *Closer) sampleRR(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	for tries := 0; tries < 32; tries++ {
+		var second []san.NodeID
+		if c.Kind == CloseRRSAN {
+			second = c.firstHopSAN(g, u, rng)
+		} else {
+			nbrs := g.SocialNeighbors(u)
+			if len(nbrs) == 0 {
+				return -1
+			}
+			w := nbrs[rng.IntN(len(nbrs))]
+			second = g.SocialNeighbors(w)
+		}
+		if len(second) == 0 {
+			continue
+		}
+		v := second[rng.IntN(len(second))]
+		if v != u && !g.HasSocialEdge(u, v) {
+			return v
+		}
+	}
+	return -1
+}
+
+// firstHopSAN picks the intermediate node w from Γs(u) ∪ Γa(u) with
+// attribute neighbors weighted by FocalWeight, then returns w's social
+// neighborhood (for an attribute w, its member list).
+func (c *Closer) firstHopSAN(g *san.SAN, u san.NodeID, rng *rand.Rand) []san.NodeID {
+	social := g.SocialNeighbors(u)
+	attrs := g.Attrs(u)
+	ws := float64(len(social))
+	wa := c.FocalWeight * float64(len(attrs))
+	if ws+wa <= 0 {
+		return nil
+	}
+	if rng.Float64()*(ws+wa) < wa {
+		a := attrs[rng.IntN(len(attrs))]
+		return g.Members(a)
+	}
+	if len(social) == 0 {
+		return nil
+	}
+	w := social[rng.IntN(len(social))]
+	return g.SocialNeighbors(w)
+}
+
+func (c *Closer) sampleBaseline(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	hood := TwoHop(g, u)
+	if len(hood) == 0 {
+		return -1
+	}
+	for tries := 0; tries < 32; tries++ {
+		v := hood[rng.IntN(len(hood))]
+		if !g.HasSocialEdge(u, v) {
+			return v
+		}
+	}
+	return -1
+}
+
+// TwoHop returns the distinct social nodes within a 2-hop radius of u
+// (direct neighbors and neighbors of neighbors), excluding u itself.
+// Exported for the likelihood experiments, which need the baseline
+// candidate set of §5.2.
+func TwoHop(g *san.SAN, u san.NodeID) []san.NodeID {
+	seen := map[san.NodeID]bool{u: true}
+	var out []san.NodeID
+	for _, w := range g.SocialNeighbors(u) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+		for _, v := range g.SocialNeighbors(w) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

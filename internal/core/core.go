@@ -1,0 +1,365 @@
+// Package core implements the paper's generative model for
+// Social-Attribute Networks (Algorithm 1, §5.3): nodes arrive, sample
+// a lognormal number of attributes, link to attributes preferentially,
+// issue a first outgoing link by Linear Attribute Preferential
+// Attachment (LAPA), then alternate sleep phases (exponential, mean
+// m_s/d_out) with wake-ups that add links by Random-Random-SAN
+// triangle closing, until a truncated-normal lifetime expires.
+//
+// Theorem 1 predicts lognormal social outdegrees with parameters
+// μ_o = (μ_l + σ_l g(γ))/m_s and σ_o² = σ_l²(1-δ(γ))/m_s²; Theorem 2
+// predicts power-law attribute social degrees with exponent
+// (2-p)/(1-p).  Both are verified by the tests in this package.
+package core
+
+import (
+	"container/heap"
+	"math"
+	"math/rand/v2"
+	"strconv"
+
+	"repro/internal/san"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Params configures the generative model.  NewDefaultParams returns
+// values calibrated to the Google+ regime of the paper.
+type Params struct {
+	// T is the number of node-arrival time steps; the paper uses
+	// N(t) = 1, one arrival per step.
+	T int
+
+	// MuAttr and SigmaAttr parameterize the lognormal attribute degree
+	// of arriving nodes (Figure 10a's μ ≈ 0.9, σ ≈ 1.0 regime).
+	MuAttr, SigmaAttr float64
+	// AttrProb is the probability that an arriving node declares any
+	// attributes at all; the paper observed 22% of Google+ users
+	// declaring at least one attribute.  1 means everyone declares.
+	AttrProb float64
+	// PNewAttr is p: the probability that each attribute link spawns a
+	// brand-new attribute node instead of choosing an existing one
+	// preferentially by social degree (Theorem 2's exponent knob).
+	PNewAttr float64
+
+	// Attachment is the first-link building block (LAPA in the paper's
+	// full model; PA for the ablation of Figure 18a).
+	Attachment AttachKind
+	// Alpha and Beta are the attachment exponents; the paper estimates
+	// α = 1, β = 200 for LAPA on Google+.
+	Alpha, Beta float64
+	// LAPAHeuristic uses the §7 constant-time approximation of LAPA.
+	LAPAHeuristic bool
+
+	// Closing is the wake-up building block (RR-SAN in the full model;
+	// RR for the ablation of Figure 18b).
+	Closing ClosingKind
+	// FocalWeight is fc, the attribute weight in RR-SAN's first hop.
+	FocalWeight float64
+
+	// MuLife and SigmaLife parameterize the truncated-normal lifetime.
+	MuLife, SigmaLife float64
+	// MeanSleep is m_s: a node with outdegree d sleeps for an
+	// exponential time with mean m_s/d.
+	MeanSleep float64
+
+	Seed uint64
+
+	// Record, when set, appends every evolution event to the trace.
+	Record *trace.Trace
+	// Snapshot, when set, is invoked after every SnapshotEvery arrivals
+	// with the current step and network (not a copy; clone to retain).
+	Snapshot      func(step int, g *san.SAN)
+	SnapshotEvery int
+}
+
+// NewDefaultParams returns parameters that reproduce the Google+
+// regime at the given scale: lognormal outdegrees with μ ≈ 1.8,
+// σ ≈ 1.2 (Figure 6a) and attribute social-degree exponent ≈ 2.05
+// (Figure 11b, p ≈ 0.05).
+func NewDefaultParams(t int) Params {
+	return Params{
+		T:           t,
+		MuAttr:      0.9,
+		SigmaAttr:   1.0,
+		AttrProb:    1.0,
+		PNewAttr:    0.05,
+		Attachment:  AttachLAPA,
+		Alpha:       1,
+		Beta:        200,
+		Closing:     CloseRRSAN,
+		FocalWeight: 1,
+		MuLife:      18,
+		SigmaLife:   12,
+		MeanSleep:   10,
+		Seed:        1,
+	}
+}
+
+// wakeEvent schedules node U to wake at time T.
+type wakeEvent struct {
+	t float64
+	u san.NodeID
+}
+
+type wakeHeap []wakeEvent
+
+func (h wakeHeap) Len() int            { return len(h) }
+func (h wakeHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h wakeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wakeHeap) Push(x interface{}) { *h = append(*h, x.(wakeEvent)) }
+func (h *wakeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Model is the running state of the generative process.  Use Generate
+// for the common case; Model is exported so the Google+ reference
+// simulator can reuse the machinery with phase-dependent behavior.
+type Model struct {
+	P   Params
+	G   *san.SAN
+	Rng *rand.Rand
+
+	Attacher *Attacher
+	Closer   *Closer
+
+	deaths     []float64 // death time per node
+	wakes      wakeHeap
+	attrSerial int
+	// attrBallot holds one entry per attribute link, naming its
+	// attribute endpoint.  Picking a uniform entry samples an existing
+	// attribute with probability exactly proportional to its social
+	// degree, in O(1).
+	attrBallot []san.AttrID
+	now        float64
+}
+
+// NewModel initializes the process with the paper's seed network: a
+// complete SAN with 5 social nodes (all directed links both ways) and
+// 5 attribute nodes (each user declaring each attribute).
+func NewModel(p Params) *Model {
+	m := &Model{
+		P:        p,
+		G:        san.New(p.T+8, p.T/4+8, 16*p.T),
+		Rng:      rand.New(rand.NewPCG(p.Seed, p.Seed^0x6a09e667f3bcc909)),
+		Attacher: NewAttacher(p.Attachment, p.Alpha, p.Beta),
+		Closer:   &Closer{Kind: p.Closing, FocalWeight: p.FocalWeight},
+	}
+	m.Attacher.Heuristic = p.LAPAHeuristic
+	const seedNodes = 5
+	for i := 0; i < seedNodes; i++ {
+		m.addSocialNode()
+	}
+	for i := 0; i < seedNodes; i++ {
+		a := m.newAttrNode(san.NodeID(i))
+		for u := 0; u < seedNodes; u++ {
+			if san.NodeID(u) != san.NodeID(i) {
+				m.addAttrLink(san.NodeID(u), a)
+			}
+		}
+	}
+	for u := 0; u < seedNodes; u++ {
+		for v := 0; v < seedNodes; v++ {
+			if u != v {
+				m.addSocialEdge(san.NodeID(u), san.NodeID(v), trace.FirstLink)
+			}
+		}
+	}
+	// Seed nodes are immortal-ish bootstrap: give them ordinary
+	// lifetimes starting at t = 0 and schedule their first wake.
+	for u := 0; u < seedNodes; u++ {
+		m.scheduleNode(san.NodeID(u), 0)
+	}
+	return m
+}
+
+// Generate runs the full process and returns the generated SAN.
+func Generate(p Params) *san.SAN {
+	m := NewModel(p)
+	for t := 1; t <= p.T; t++ {
+		m.Step(float64(t))
+		if p.Snapshot != nil && p.SnapshotEvery > 0 && t%p.SnapshotEvery == 0 {
+			p.Snapshot(t, m.G)
+		}
+	}
+	return m.G
+}
+
+// Step advances model time to now: processes due wake-ups, then adds
+// one arriving social node (the paper's N(t) = 1 arrival function).
+func (m *Model) Step(now float64) {
+	m.now = now
+	m.processWakes(now)
+	m.Arrive(now)
+}
+
+// Arrive performs the §5.3 arrival sequence for one new node at the
+// given time and returns its ID.
+func (m *Model) Arrive(now float64) san.NodeID {
+	p := &m.P
+	m.now = now
+	u := m.addSocialNode()
+
+	// Attribute degree sampling and attribute linking.
+	if m.Rng.Float64() < p.AttrProb {
+		na := stats.LognormalInt(m.Rng, p.MuAttr, p.SigmaAttr)
+		for i := 0; i < na; i++ {
+			m.LinkAttribute(u)
+		}
+	}
+
+	// First outgoing link via the attachment model.
+	if v := m.Attacher.Sample(m.G, u, m.Rng); v >= 0 {
+		m.addSocialEdge(u, v, trace.FirstLink)
+	}
+
+	m.scheduleNode(u, now)
+	return u
+}
+
+// LinkAttribute attaches one attribute to u: with probability p a new
+// attribute node is created, otherwise an existing one is chosen with
+// probability exactly proportional to its social degree (a uniformly
+// random attribute link endpoint).
+func (m *Model) LinkAttribute(u san.NodeID) {
+	if len(m.attrBallot) == 0 || m.Rng.Float64() < m.P.PNewAttr {
+		m.newAttrNode(u)
+		return
+	}
+	for tries := 0; tries < 64; tries++ {
+		a := m.attrBallot[m.Rng.IntN(len(m.attrBallot))]
+		if m.G.HasAttrEdge(u, a) {
+			continue // u already declares a; resample
+		}
+		m.addAttrLink(u, a)
+		return
+	}
+	// u already declares essentially every popular attribute; a fresh
+	// attribute keeps the process moving without biasing the ballot.
+	m.newAttrNode(u)
+}
+
+// scheduleNode samples the lifetime of u and its first wake-up.
+func (m *Model) scheduleNode(u san.NodeID, now float64) {
+	life := stats.TruncNormal(m.Rng, m.P.MuLife, m.P.SigmaLife)
+	for int(u) >= len(m.deaths) {
+		m.deaths = append(m.deaths, 0)
+	}
+	m.deaths[u] = now + life
+	m.scheduleWake(u, now)
+}
+
+func (m *Model) scheduleWake(u san.NodeID, now float64) {
+	do := m.G.OutDegree(u)
+	if do == 0 {
+		do = 1
+	}
+	s := stats.ExpMean(m.Rng, m.P.MeanSleep/float64(do))
+	t := now + s
+	if t >= m.deaths[u] {
+		return // the node dies before waking again
+	}
+	heap.Push(&m.wakes, wakeEvent{t: t, u: u})
+}
+
+// processWakes pops every wake-up due at or before now; each woken
+// node issues one triangle-closing link and goes back to sleep.
+func (m *Model) processWakes(now float64) {
+	for len(m.wakes) > 0 && m.wakes[0].t <= now {
+		e := heap.Pop(&m.wakes).(wakeEvent)
+		m.WakeOnce(e.u, e.t)
+	}
+}
+
+// WakeOnce performs one wake-up for node u at time t: a triangle-
+// closing link (falling back to the attachment model when the 2-hop
+// neighborhood is exhausted), then reschedules u.
+func (m *Model) WakeOnce(u san.NodeID, t float64) {
+	m.now = t
+	v := m.Closer.Sample(m.G, u, m.Rng)
+	kind := trace.TriangleLink
+	if v < 0 {
+		v = m.Attacher.Sample(m.G, u, m.Rng)
+		kind = trace.FirstLink
+	}
+	if v >= 0 {
+		m.addSocialEdge(u, v, kind)
+	}
+	m.scheduleWake(u, t)
+}
+
+func (m *Model) addSocialNode() san.NodeID {
+	u := m.G.AddSocialNode()
+	m.Attacher.NodeAdded()
+	if m.P.Record != nil {
+		m.P.Record.Append(trace.Event{Kind: trace.NodeArrival, U: u, Time: m.now})
+	}
+	return u
+}
+
+func (m *Model) addSocialEdge(u, v san.NodeID, kind trace.Kind) bool {
+	if !m.G.AddSocialEdge(u, v) {
+		return false
+	}
+	m.Attacher.EdgeAdded(v, m.G.InDegree(v))
+	if m.P.Record != nil {
+		m.P.Record.Append(trace.Event{Kind: kind, U: u, V: v, Time: m.now})
+	}
+	return true
+}
+
+func (m *Model) newAttrNode(u san.NodeID) san.AttrID {
+	name := "attr#" + strconv.Itoa(m.attrSerial)
+	m.attrSerial++
+	a := m.G.AddAttrNode(name, san.Generic)
+	if m.P.Record != nil {
+		m.P.Record.AttrNames = append(m.P.Record.AttrNames, name)
+		m.P.Record.AttrTypes = append(m.P.Record.AttrTypes, san.Generic)
+		m.P.Record.Append(trace.Event{Kind: trace.NewAttr, U: u, A: a, Time: m.now})
+	}
+	m.addAttrLinkNoRecord(u, a)
+	return a
+}
+
+func (m *Model) addAttrLink(u san.NodeID, a san.AttrID) {
+	if m.P.Record != nil {
+		m.P.Record.Append(trace.Event{Kind: trace.AttrLink, U: u, A: a, Time: m.now})
+	}
+	m.addAttrLinkNoRecord(u, a)
+}
+
+func (m *Model) addAttrLinkNoRecord(u san.NodeID, a san.AttrID) {
+	if !m.G.AddAttrEdge(u, a) {
+		return
+	}
+	m.attrBallot = append(m.attrBallot, a)
+}
+
+// PredictedOutdegreeParams returns Theorem 1's predicted lognormal
+// parameters (μ_o, σ_o) of the social outdegree distribution for the
+// given model parameters.
+func PredictedOutdegreeParams(p Params) (mu, sigma float64) {
+	mu = stats.TruncNormalMean(p.MuLife, p.SigmaLife) / p.MeanSleep
+	sigma = 0
+	if v := stats.TruncNormalVar(p.MuLife, p.SigmaLife); v > 0 {
+		sigma = sqrtPos(v) / p.MeanSleep
+	}
+	return mu, sigma
+}
+
+// PredictedAttrDegreeExponent returns Theorem 2's predicted power-law
+// exponent (2-p)/(1-p) of the attribute social-degree distribution.
+func PredictedAttrDegreeExponent(p Params) float64 {
+	return (2 - p.PNewAttr) / (1 - p.PNewAttr)
+}
+
+func sqrtPos(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

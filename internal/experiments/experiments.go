@@ -1,0 +1,321 @@
+// Package experiments regenerates every figure of the paper's
+// measurement and evaluation sections on the simulated Google+
+// dataset.  Each figure has a driver returning a Figure (named data
+// series plus notes); the cmd/sanbench binary and the repository-root
+// benchmarks print them.
+//
+// One instrumented simulation run (Dataset) is shared by all of the
+// measurement figures; model-comparison figures generate their own
+// SANs from the core and zhel generators.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/gplus"
+	"repro/internal/hll"
+	"repro/internal/metrics"
+	"repro/internal/san"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config scales the experiments.  Scale is the gplus DailyBase (the
+// paper's 30M-user crawl maps to laptop-scale thousands); ModelT is
+// the arrival count for generated model SANs.
+type Config struct {
+	Scale     int
+	ModelT    int
+	Seed      uint64
+	DiamEvery int   // compute diameters every k-th day
+	HLLBits   uint8 // HyperANF precision
+}
+
+// DefaultConfig is the full experiment scale (~20k users).
+func DefaultConfig() Config {
+	return Config{Scale: 400, ModelT: 20000, Seed: 42, DiamEvery: 7, HLLBits: 7}
+}
+
+// QuickConfig is a reduced scale for tests and benchmarks.
+func QuickConfig() Config {
+	return Config{Scale: 100, ModelT: 4000, Seed: 42, DiamEvery: 14, HLLBits: 6}
+}
+
+// Series is one plotted curve: paired X/Y values.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is the output of one experiment driver.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// DayMetrics is the per-day measurement record of the evolving SAN,
+// covering every time-series figure (2, 3, 4, 6, 7b, 8, 11, 12b).
+type DayMetrics struct {
+	Day   int
+	Stats san.Stats
+
+	Recip         float64
+	SocialDensity float64
+	AttrDensity   float64
+	Assort        float64
+	AttrAssort    float64
+	CC            float64
+	AttrCC        float64
+
+	MuOut, SigmaOut         float64
+	MuIn, SigmaIn           float64
+	MuAttrDeg, SigmaAttrDeg float64
+	AlphaAttrSocial         float64
+
+	DiamSocial float64 // NaN when not computed this day
+	DiamAttr   float64 // NaN when not computed this day
+}
+
+// Dataset is one instrumented simulation run: the "crawled dataset"
+// of this reproduction.
+type Dataset struct {
+	Cfg  Config
+	Sim  *gplus.Simulator
+	Days []DayMetrics
+
+	HalfView  *san.SAN // crawl view at day 49 (the halfway snapshot)
+	FinalView *san.SAN // crawl view at the last day
+	Trace     *trace.Trace
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[Config]*Dataset{}
+)
+
+// GetDataset builds (or returns the cached) instrumented run for cfg.
+func GetDataset(cfg Config) *Dataset {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[cfg]; ok {
+		return d
+	}
+	d := buildDataset(cfg)
+	dsCache[cfg] = d
+	return d
+}
+
+func buildDataset(cfg Config) *Dataset {
+	gcfg := gplus.DefaultConfig()
+	gcfg.DailyBase = cfg.Scale
+	gcfg.Seed = cfg.Seed
+	gcfg.Record = &trace.Trace{}
+	gcfg.RecordObserved = true
+	sim := gplus.New(gcfg)
+	ds := &Dataset{Cfg: cfg, Sim: sim, Trace: gcfg.Record}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9b05688c2b3e6c1f))
+	ccSamples := metrics.SampleSize(0.01, 100) // ε=0.01, ν=100 per day
+
+	sim.Run(func(day int, full *san.SAN) {
+		view := sim.CrawlView()
+		m := DayMetrics{
+			Day:           day,
+			Recip:         full.Reciprocity(),
+			SocialDensity: full.SocialDensity(),
+			AttrDensity:   view.AttrDensity(),
+			Assort:        metrics.SocialAssortativity(full),
+			AttrAssort:    metrics.AttrAssortativity(view),
+			CC:            metrics.AverageSocialClustering(full, ccSamples, rng),
+			AttrCC:        metrics.AverageAttrClustering(view, ccSamples, rng),
+			DiamSocial:    math.NaN(),
+			DiamAttr:      math.NaN(),
+		}
+		m.Stats = view.Stats()
+		m.MuOut, m.SigmaOut = stats.LogMoments(metrics.OutDegrees(full))
+		m.MuIn, m.SigmaIn = stats.LogMoments(metrics.InDegrees(full))
+		var pos []int
+		for _, k := range metrics.AttrDegrees(view) {
+			if k > 0 {
+				pos = append(pos, k)
+			}
+		}
+		m.MuAttrDeg, m.SigmaAttrDeg = stats.LogMoments(pos)
+		m.AlphaAttrSocial = stats.FitPowerLawFixedXmin(metrics.AttrSocialDegrees(view), 1).Alpha
+
+		if cfg.DiamEvery > 0 && day%cfg.DiamEvery == 0 && day >= cfg.DiamEvery {
+			nf := hll.HyperANF(full, hll.Options{Precision: cfg.HLLBits, Seed: cfg.Seed})
+			m.DiamSocial = nf.EffectiveDiameter(0.9)
+			m.DiamAttr = attrDiameter(view, rng)
+		}
+
+		if day == 49 {
+			ds.HalfView = view
+		}
+		if day == sim.Cfg.Days {
+			ds.FinalView = view
+		}
+		ds.Days = append(ds.Days, m)
+	})
+	return ds
+}
+
+// attrDiameter estimates the effective attribute diameter by sampling
+// source attributes with at least two members.
+func attrDiameter(view *san.SAN, rng *rand.Rand) float64 {
+	var candidates []san.AttrID
+	for a := 0; a < view.NumAttrs(); a++ {
+		if view.SocialDegreeOfAttr(san.AttrID(a)) >= 2 {
+			candidates = append(candidates, san.AttrID(a))
+		}
+	}
+	if len(candidates) == 0 {
+		return math.NaN()
+	}
+	const sources = 8
+	return hll.EffectiveAttrDiameter(view, sources, 0.9, func(int) san.AttrID {
+		return candidates[rng.IntN(len(candidates))]
+	})
+}
+
+// daySeries extracts one time series from the dataset.
+func (d *Dataset) daySeries(name string, f func(DayMetrics) float64) Series {
+	s := Series{Name: name}
+	for _, m := range d.Days {
+		v := f(m)
+		if math.IsNaN(v) {
+			continue
+		}
+		s.X = append(s.X, float64(m.Day))
+		s.Y = append(s.Y, v)
+	}
+	return s
+}
+
+// pmfSeries converts an integer sample into a log-binned empirical PMF
+// curve suitable for the paper's log-log degree plots.
+func pmfSeries(name string, data []int) Series {
+	pmf := stats.PMF(data)
+	xs := make([]float64, len(pmf))
+	ys := make([]float64, len(pmf))
+	for i, p := range pmf {
+		xs[i] = float64(p.K)
+		ys[i] = p.P
+	}
+	binned := stats.LogBinAverage(xs, ys, 1.5)
+	s := Series{Name: name}
+	for _, b := range binned {
+		s.X = append(s.X, b.X)
+		s.Y = append(s.Y, b.Y)
+	}
+	return s
+}
+
+// fitSeries evaluates a fitted log-PMF at the empirical bin centers.
+func fitSeries(name string, ref Series, logPMF func(k int) float64) Series {
+	s := Series{Name: name}
+	for _, x := range ref.X {
+		k := int(x + 0.5)
+		if k < 1 {
+			continue
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, math.Exp(logPMF(k)))
+	}
+	return s
+}
+
+// knnSeries converts a knn curve into a log-binned series.
+func knnSeries(name string, pts []metrics.KnnPoint) Series {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.Degree)
+		ys[i] = p.Knn
+	}
+	s := Series{Name: name}
+	for _, b := range stats.LogBinAverage(xs, ys, 1.5) {
+		s.X = append(s.X, b.X)
+		s.Y = append(s.Y, b.Y)
+	}
+	return s
+}
+
+// clusteringSeries converts a clustering-by-degree curve into a
+// log-binned series.
+func clusteringSeries(name string, pts []metrics.DegreeClusteringPoint) Series {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.Degree)
+		ys[i] = p.C
+	}
+	s := Series{Name: name}
+	for _, b := range stats.LogBinAverage(xs, ys, 1.5) {
+		s.X = append(s.X, b.X)
+		s.Y = append(s.Y, b.Y)
+	}
+	return s
+}
+
+// Render formats a figure as an aligned text table: one row per X
+// value, one column per series.
+func Render(f Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	// Collect the union of X values.
+	xsSet := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	// Header.
+	fmt.Fprintf(&b, "%12s", "x")
+	for _, s := range f.Series {
+		name := s.Name
+		if len(name) > 20 {
+			name = name[:20]
+		}
+		fmt.Fprintf(&b, " %20s", name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%12.4g", x)
+		for _, s := range f.Series {
+			v, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, " %20.6g", v)
+			} else {
+				fmt.Fprintf(&b, " %20s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}

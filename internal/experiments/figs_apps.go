@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/anon"
+	"repro/internal/core"
+	"repro/internal/san"
+	"repro/internal/sybil"
+)
+
+// Fig19 regenerates Figure 19: application fidelity.  The SybilLimit
+// Sybil count (19a) and the anonymous-communication attack probability
+// (19b) are computed on the simulated Google+ network and on synthetic
+// SANs from our model (fc = 0.1 and fc = 0) and the Zhel baseline,
+// each generated at the same node count.
+func Fig19(cfg Config) Figure {
+	d := GetDataset(cfg)
+	gp := d.FinalView
+	n := gp.NumSocial()
+
+	// Comparison models matched to the Google+ node count.
+	build := func(focal float64) *san.SAN {
+		p := core.NewDefaultParams(n - 5)
+		p.Seed = cfg.Seed
+		p.FocalWeight = focal
+		return core.Generate(p)
+	}
+	mFC := build(0.1)
+	mNo := build(0)
+	zh := getModels(cfg).zhel
+
+	// Compromise 0.5%..4% of nodes (the paper compromises 20k-200k of
+	// 10M, i.e. 0.2%-2%; we extend slightly for resolution).
+	var counts []int
+	for _, f := range []float64{0.005, 0.01, 0.02, 0.03, 0.04} {
+		counts = append(counts, int(f*float64(n)))
+	}
+	const w, bound = 10, 100
+
+	nets := []struct {
+		name string
+		g    *san.SAN
+	}{
+		{"GooglePlus", gp},
+		{"Model-fc0.1", mFC},
+		{"Model-fc0", mNo},
+		{"Zhel", zh},
+	}
+
+	f := Figure{ID: "fig19", Title: "Application fidelity: SybilLimit and anonymity"}
+	var gpSybils []float64
+	for _, net := range nets {
+		pts := sybil.Sweep(net.g, counts, w, bound, 0, cfg.Seed)
+		s := Series{Name: "sybil-" + net.name}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Compromised))
+			s.Y = append(s.Y, float64(p.Sybils))
+		}
+		if net.name == "GooglePlus" {
+			gpSybils = append([]float64(nil), s.Y...)
+		} else if len(gpSybils) == len(s.Y) && len(s.Y) > 0 {
+			last := len(s.Y) - 1
+			if gpSybils[last] > 0 {
+				err := 100 * (s.Y[last] - gpSybils[last]) / gpSybils[last]
+				f.Notes = append(f.Notes, fmt.Sprintf("19a %s prediction error at max compromise: %+.1f%%",
+					net.name, err))
+			}
+		}
+		f.Series = append(f.Series, s)
+	}
+
+	ap := anon.DefaultParams()
+	ap.Seed = cfg.Seed
+	ap.Trials = 60000
+	for _, net := range nets {
+		pts := anon.Sweep(net.g, counts, ap)
+		s := Series{Name: "anon-" + net.name}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Compromised))
+			s.Y = append(s.Y, p.Probability)
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Notes = append(f.Notes,
+		"paper 19a: our model within ~3% of Google+ at 200k compromised; Zhel ~4x worse (12.5% error)",
+		"paper 19b: model tracks the end-to-end timing-analysis probability of the real topology")
+	return f
+}

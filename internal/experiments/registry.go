@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Driver is one experiment entry point.
+type Driver func(Config) Figure
+
+// Registry maps experiment IDs (as accepted by `sanbench -fig`) to
+// their drivers.  IDs follow the paper's figure numbering; "tc" and
+// "dist" are the in-text statistics of §5.2 and §3.3.
+var Registry = map[string]Driver{
+	"2":       Fig2,
+	"3":       Fig3,
+	"4":       Fig4,
+	"5":       Fig5,
+	"6":       Fig6,
+	"7a":      Fig7Knn,
+	"7b":      Fig7b,
+	"8":       Fig8,
+	"9":       Fig9,
+	"10":      Fig10,
+	"11":      Fig11,
+	"12a":     Fig12Knn,
+	"12b":     Fig12b,
+	"13":      Fig13,
+	"14":      Fig14,
+	"15":      Fig15,
+	"16":      Fig16,
+	"17":      Fig17,
+	"18":      Fig18,
+	"19":      Fig19,
+	"tc":      ClosureCensus,
+	"dist":    DistanceDistribution,
+	"summary": GrowthSummary,
+}
+
+// IDs returns the registry keys in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run looks up and executes one experiment.
+func Run(id string, cfg Config) (Figure, error) {
+	d, ok := Registry[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("unknown experiment %q (known: %v)", id, IDs())
+	}
+	return d(cfg), nil
+}

@@ -1,0 +1,89 @@
+package fitmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMeasureTargetRoundTrip(t *testing.T) {
+	p := core.NewDefaultParams(4000)
+	p.Seed = 3
+	g := core.Generate(p)
+	tgt := MeasureTarget(g)
+	if tgt.MuOut <= 0 || tgt.SigmaOut <= 0 {
+		t.Errorf("degenerate outdegree moments: %+v", tgt)
+	}
+	if tgt.Density <= 1 {
+		t.Errorf("density = %v, expected > 1 for the default model", tgt.Density)
+	}
+	if tgt.AttrSocialAlpha <= 1.5 || tgt.AttrSocialAlpha > 3.5 {
+		t.Errorf("attribute exponent = %v out of plausible range", tgt.AttrSocialAlpha)
+	}
+}
+
+func TestInitFromTheoryInvertsTheorems(t *testing.T) {
+	// Build a target directly from known model parameters, then check
+	// the inversion recovers parameters whose forward prediction
+	// matches the target.
+	p := core.NewDefaultParams(0)
+	muPred, sigmaPred := core.PredictedOutdegreeParams(p)
+	const eulerGamma = 0.5772156649
+	tgt := Target{
+		MuOut:           muPred - eulerGamma,
+		SigmaOut:        sigmaPred,
+		MuAttrDeg:       p.MuAttr,
+		SigmaAttrDeg:    p.SigmaAttr,
+		AttrSocialAlpha: core.PredictedAttrDegreeExponent(p),
+	}
+	got := InitFromTheory(tgt)
+	muBack, sigmaBack := core.PredictedOutdegreeParams(got)
+	if math.Abs(muBack-muPred) > 0.05 {
+		t.Errorf("forward μ_o = %.3f, want %.3f", muBack, muPred)
+	}
+	if math.Abs(sigmaBack-sigmaPred) > 0.05 {
+		t.Errorf("forward σ_o = %.3f, want %.3f", sigmaBack, sigmaPred)
+	}
+	if math.Abs(got.PNewAttr-p.PNewAttr) > 0.02 {
+		t.Errorf("recovered p = %.3f, want %.3f", got.PNewAttr, p.PNewAttr)
+	}
+	if math.Abs(got.MuAttr-p.MuAttr) > 1e-9 || math.Abs(got.SigmaAttr-p.SigmaAttr) > 1e-9 {
+		t.Errorf("attribute moments not copied: %+v", got)
+	}
+}
+
+func TestSearchImprovesOrMatchesInit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Target: a model SAN with shifted parameters.
+	truth := core.NewDefaultParams(2500)
+	truth.MuLife = 25
+	truth.PNewAttr = 0.12
+	truth.Seed = 17
+	tgt := MeasureTarget(core.Generate(truth))
+
+	opts := Options{T: 1500, Sweeps: 1, Seed: 9}
+	res := Search(tgt, opts)
+	if res.Evals < 5 {
+		t.Errorf("search barely evaluated: %d evals", res.Evals)
+	}
+	// Final score must be finite and not worse than a from-scratch
+	// default-parameter evaluation.
+	def := core.NewDefaultParams(opts.T)
+	def.Seed = opts.Seed
+	defScore := distance(MeasureTarget(core.Generate(def)), tgt)
+	if res.Score > defScore*1.5 {
+		t.Errorf("search score %.4f much worse than default %.4f", res.Score, defScore)
+	}
+	if math.IsNaN(res.Score) || math.IsInf(res.Score, 0) {
+		t.Errorf("score = %v", res.Score)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 1, 3) != 3 || clamp(-1, 0, 3) != 0 || clamp(2, 1, 3) != 2 {
+		t.Error("clamp misbehaves")
+	}
+}

@@ -1,0 +1,210 @@
+package gplus
+
+import (
+	"strconv"
+
+	"repro/internal/san"
+	"repro/internal/trace"
+)
+
+// seedValue is a predefined attribute value with an initial popularity
+// weight and a lifetime boost for its members (Figure 14's early-
+// adopter effect: Google employees and CS majors have higher degrees).
+type seedValue struct {
+	name   string
+	typ    san.AttrType
+	weight int     // initial popularity (pseudo-members in the ballot)
+	boost  float64 // extra lifetime in days for members; 0 = none
+}
+
+// seedValues lists the named attribute values the paper's Figure 14
+// reports on, plus filler values per type.  Weights encode the
+// early-Google+ population skew toward the IT/CS industry.
+var seedValues = []seedValue{
+	{"Google", san.Employer, 12, 7.0},
+	{"Microsoft", san.Employer, 10, 4.0},
+	{"IBM", san.Employer, 9, 2.0},
+	{"Infosys", san.Employer, 8, 0.5},
+	{"Apple", san.Employer, 6, 3.5},
+	{"Intel", san.Employer, 5, 3.0},
+	{"Self-Employed", san.Employer, 7, -0.5},
+
+	{"Computer Science", san.Major, 12, 5.5},
+	{"Economics", san.Major, 6, 1.0},
+	{"Finance", san.Major, 5, 0.0},
+	{"Political Science", san.Major, 4, -1.0},
+	{"Electrical Engineering", san.Major, 7, 3.0},
+	{"Biology", san.Major, 4, -1.0},
+
+	{"UC Berkeley", san.School, 6, 2.5},
+	{"Stanford", san.School, 6, 2.5},
+	{"MIT", san.School, 5, 2.5},
+	{"Tsinghua University", san.School, 5, 2.0},
+	{"State University", san.School, 8, -0.5},
+
+	{"San Francisco", san.City, 10, 1.5},
+	{"New York", san.City, 9, 0.0},
+	{"London", san.City, 7, 0.0},
+	{"Bangalore", san.City, 6, 0.5},
+	{"Mountain View", san.City, 5, 4.5},
+}
+
+// catalog manages attribute values: creation, popularity-preferential
+// selection (via a membership ballot per type), and lifetime boosts.
+type catalog struct {
+	sim *Simulator
+	// ballot holds one attrID entry per attribute link (plus seed
+	// pseudo-entries), per type: uniform draws are popularity-
+	// proportional draws.
+	ballot [5][]san.AttrID
+	boost  map[san.AttrID]float64
+	serial int
+}
+
+func newCatalog(s *Simulator) *catalog {
+	c := &catalog{sim: s, boost: make(map[san.AttrID]float64)}
+	for _, sv := range seedValues {
+		id := s.G.AddAttrNode(sv.name, sv.typ)
+		if s.Cfg.Record != nil {
+			s.Cfg.Record.AttrNames = append(s.Cfg.Record.AttrNames, sv.name)
+			s.Cfg.Record.AttrTypes = append(s.Cfg.Record.AttrTypes, sv.typ)
+			s.Cfg.Record.Append(trace.Event{Kind: trace.NewAttr, U: -1, A: id})
+		}
+		c.boost[id] = sv.boost
+		for i := 0; i < sv.weight; i++ {
+			c.ballot[sv.typ] = append(c.ballot[sv.typ], id)
+		}
+	}
+	return c
+}
+
+// typeMix returns the probability weights of picking each attribute
+// type, phase-dependent: the launch population skews toward Employer
+// and Major declarations (techies), the public-release population
+// toward City (the general public).
+func typeMix(p Phase) map[san.AttrType]float64 {
+	switch p {
+	case PhaseI:
+		return map[san.AttrType]float64{san.Employer: 0.34, san.Major: 0.26, san.School: 0.2, san.City: 0.2}
+	case PhaseII:
+		return map[san.AttrType]float64{san.Employer: 0.28, san.Major: 0.22, san.School: 0.22, san.City: 0.28}
+	default:
+		return map[san.AttrType]float64{san.Employer: 0.2, san.Major: 0.18, san.School: 0.22, san.City: 0.4}
+	}
+}
+
+// assign gives user u n attribute values, updating the lifetime boost.
+func (c *catalog) assign(u san.NodeID, n int, phase Phase) {
+	c.assignWithTemplate(u, n, phase, -1, 0)
+}
+
+// assignWithTemplate is assign with attribute inheritance: each slot
+// copies one of the template node's attributes with probability
+// inherit (invited users joining their inviter's communities).
+func (c *catalog) assignWithTemplate(u san.NodeID, n int, phase Phase, template san.NodeID, inherit float64) {
+	mix := typeMix(phase)
+	for i := 0; i < n; i++ {
+		var a san.AttrID
+		if template >= 0 && inherit > 0 && c.sim.Rng.Float64() < inherit {
+			ta := c.sim.G.Attrs(template)
+			if len(ta) == 0 {
+				continue
+			}
+			a = ta[c.sim.Rng.IntN(len(ta))]
+			// The granularity cap applies to inherited picks too, or
+			// inheritance regrows the giant communities the cap exists
+			// to prevent.
+			if c.overCap(a) {
+				continue
+			}
+		} else {
+			a = c.pickValue(c.pickType(mix), phase)
+		}
+		if c.sim.G.HasAttrEdge(u, a) {
+			continue
+		}
+		c.link(u, a)
+	}
+}
+
+// assignSeedAttrs marks u as a founding tech employee.
+func (c *catalog) assignSeedAttrs(u san.NodeID) {
+	g, _ := c.sim.G.AttrByName("Google")
+	cs, _ := c.sim.G.AttrByName("Computer Science")
+	mv, _ := c.sim.G.AttrByName("Mountain View")
+	for _, a := range []san.AttrID{g, cs, mv} {
+		c.link(u, a)
+	}
+}
+
+func (c *catalog) link(u san.NodeID, a san.AttrID) {
+	if !c.sim.G.AddAttrEdge(u, a) {
+		return
+	}
+	c.ballot[c.sim.G.AttrTypeOf(a)] = append(c.ballot[c.sim.G.AttrTypeOf(a)], a)
+	if b, ok := c.boost[a]; ok && b > c.sim.lifeBoost[u] {
+		c.sim.lifeBoost[u] = b // strongest attribute effect wins
+	}
+	if c.sim.Cfg.Record != nil && (!c.sim.Cfg.RecordObserved || c.sim.declared[u]) {
+		c.sim.Cfg.Record.Append(trace.Event{Kind: trace.AttrLink, U: u, A: a, Time: c.sim.now})
+	}
+}
+
+func (c *catalog) pickType(mix map[san.AttrType]float64) san.AttrType {
+	x := c.sim.Rng.Float64()
+	for _, t := range san.AttrTypes {
+		w := mix[t]
+		if x < w {
+			return t
+		}
+		x -= w
+	}
+	return san.City
+}
+
+// pickValue chooses an attribute value of type t: with probability
+// PNewValue a new value is minted; otherwise an existing value is
+// chosen proportionally to its popularity, rejecting values whose
+// membership already exceeds MaxAttrFrac of the population (community
+// granularity scales with the network; see Config.MaxAttrFrac).
+func (c *catalog) pickValue(t san.AttrType, phase Phase) san.AttrID {
+	b := c.ballot[t]
+	if len(b) == 0 || c.sim.Rng.Float64() < c.sim.Cfg.PNewValue {
+		return c.newValue(t)
+	}
+	for tries := 0; tries < 8; tries++ {
+		a := b[c.sim.Rng.IntN(len(b))]
+		if !c.overCap(a) {
+			return a
+		}
+	}
+	return c.newValue(t)
+}
+
+// overCap reports whether attribute a has reached the MaxAttrFrac
+// granularity cap.
+func (c *catalog) overCap(a san.AttrID) bool {
+	f := c.sim.Cfg.MaxAttrFrac
+	if f <= 0 {
+		return false
+	}
+	maxSize := int(f * float64(c.sim.G.NumSocial()))
+	if maxSize < 12 {
+		maxSize = 12
+	}
+	return c.sim.G.SocialDegreeOfAttr(a) >= maxSize
+}
+
+func (c *catalog) newValue(t san.AttrType) san.AttrID {
+	name := t.String() + "#" + strconv.Itoa(c.serial)
+	c.serial++
+	id := c.sim.G.AddAttrNode(name, t)
+	if c.sim.Cfg.Record != nil {
+		c.sim.Cfg.Record.AttrNames = append(c.sim.Cfg.Record.AttrNames, name)
+		c.sim.Cfg.Record.AttrTypes = append(c.sim.Cfg.Record.AttrTypes, t)
+		c.sim.Cfg.Record.Append(trace.Event{Kind: trace.NewAttr, U: -1, A: id, Time: c.sim.now})
+	}
+	// One pseudo-entry so brand-new values are discoverable.
+	c.ballot[t] = append(c.ballot[t], id)
+	return id
+}

@@ -1,0 +1,191 @@
+package hll
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/san"
+)
+
+func TestCounterEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 50000} {
+		c := NewCounter(10) // 1024 registers, ~3.25% std error
+		for i := 0; i < n; i++ {
+			c.Add(Hash(uint64(i), 42))
+		}
+		got := c.Estimate()
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		if relErr > 0.12 {
+			t.Errorf("n=%d: estimate %v, relative error %.3f > 0.12", n, got, relErr)
+		}
+	}
+}
+
+func TestCounterDuplicatesIdempotent(t *testing.T) {
+	c := NewCounter(8)
+	for i := 0; i < 1000; i++ {
+		c.Add(Hash(uint64(i%50), 7))
+	}
+	got := c.Estimate()
+	if got < 30 || got > 75 {
+		t.Errorf("estimate of 50 distinct items with duplicates = %v", got)
+	}
+}
+
+func TestUnionMatchesCombinedSet(t *testing.T) {
+	a := NewCounter(10)
+	b := NewCounter(10)
+	for i := 0; i < 2000; i++ {
+		a.Add(Hash(uint64(i), 1))
+	}
+	for i := 1000; i < 3000; i++ {
+		b.Add(Hash(uint64(i), 1))
+	}
+	u := a.Clone()
+	u.Union(b)
+	got := u.Estimate()
+	relErr := math.Abs(got-3000) / 3000
+	if relErr > 0.12 {
+		t.Errorf("union estimate %v, want ~3000", got)
+	}
+	// Union is monotone: no register decreased, so estimate(a∪b) >= estimate(a).
+	if got < a.Estimate()*0.999 {
+		t.Errorf("union estimate %v < a estimate %v", got, a.Estimate())
+	}
+	// Second union with the same counter must report no change.
+	if u.Union(b) {
+		t.Error("re-union with subset reported change")
+	}
+}
+
+func TestNewCounterPanicsOutOfRange(t *testing.T) {
+	for _, p := range []uint8{0, 3, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCounter(%d) did not panic", p)
+				}
+			}()
+			NewCounter(p)
+		}()
+	}
+}
+
+// TestHashAvalanche checks the hash spreads single-bit input changes
+// across output bits (needed for HLL register uniformity).
+func TestHashAvalanche(t *testing.T) {
+	f := func(x uint64, bit uint8) bool {
+		b := bit % 64
+		h1 := Hash(x, 99)
+		h2 := Hash(x^(1<<b), 99)
+		diff := h1 ^ h2
+		// Expect roughly half the 64 bits to differ; require at least 10.
+		n := 0
+		for diff != 0 {
+			n += int(diff & 1)
+			diff >>= 1
+		}
+		return n >= 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// chain builds a directed path 0 -> 1 -> ... -> n-1.
+func chain(n int) *san.SAN {
+	g := san.New(n, 0, n)
+	g.AddSocialNodes(n)
+	for i := 0; i < n-1; i++ {
+		g.AddSocialEdge(san.NodeID(i), san.NodeID(i+1))
+	}
+	return g
+}
+
+func TestExactNeighborhoodFunctionChain(t *testing.T) {
+	g := chain(5)
+	nf := ExactNeighborhoodFunction(g)
+	// N(0)=5 nodes; N(1)=5+4 pairs at distance<=1; N(4)=15 total pairs.
+	want := []float64{5, 9, 12, 14, 15}
+	if len(nf.N) != len(want) {
+		t.Fatalf("N has %d entries, want %d (%v)", len(nf.N), len(want), nf.N)
+	}
+	for i := range want {
+		if nf.N[i] != want[i] {
+			t.Errorf("N[%d] = %v, want %v", i, nf.N[i], want[i])
+		}
+	}
+}
+
+func TestHyperANFMatchesExactOnSmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 3; trial++ {
+		n := 60 + trial*40
+		g := san.New(n, 0, 0)
+		g.AddSocialNodes(n)
+		for i := 0; i < 6*n; i++ {
+			g.AddSocialEdge(san.NodeID(rng.IntN(n)), san.NodeID(rng.IntN(n)))
+		}
+		exact := ExactNeighborhoodFunction(g)
+		approx := HyperANF(g, Options{Precision: 12, Seed: uint64(trial)})
+		de := exact.EffectiveDiameter(0.9)
+		da := approx.EffectiveDiameter(0.9)
+		if math.Abs(de-da) > 1.0 {
+			t.Errorf("trial %d: effective diameter exact %.2f vs HyperANF %.2f", trial, de, da)
+		}
+	}
+}
+
+func TestHyperANFConvergesOnChain(t *testing.T) {
+	g := chain(10)
+	nf := HyperANF(g, Options{Precision: 12, Seed: 3})
+	// The chain has finite diameter 9, so the function must converge
+	// in at most 10 iterations plus one no-change confirmation round.
+	if len(nf.N) > 12 {
+		t.Errorf("HyperANF took %d iterations on a 10-chain", len(nf.N))
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(nf.N); i++ {
+		if nf.N[i] < nf.N[i-1]-1e-9 {
+			t.Errorf("N decreased at %d: %v -> %v", i, nf.N[i-1], nf.N[i])
+		}
+	}
+}
+
+func TestEffectiveDiameterInterpolation(t *testing.T) {
+	nf := NeighborhoodFunction{N: []float64{10, 50, 100}}
+	// target = 0.9*100 = 90, between N(1)=50 and N(2)=100:
+	// d = 1 + (90-50)/(100-50) = 1.8.
+	if got := nf.EffectiveDiameter(0.9); math.Abs(got-1.8) > 1e-9 {
+		t.Errorf("EffectiveDiameter = %v, want 1.8", got)
+	}
+	// Degenerate: all mass at distance 0.
+	nf0 := NeighborhoodFunction{N: []float64{100}}
+	if got := nf0.EffectiveDiameter(0.9); got != 0 {
+		t.Errorf("EffectiveDiameter singleton = %v, want 0", got)
+	}
+}
+
+func TestEffectiveAttrDiameter(t *testing.T) {
+	// Chain of 6 with two attributes: a={0,1}, b={4,5}.
+	g := chain(6)
+	a := g.AddAttrNode("a", san.Generic)
+	b := g.AddAttrNode("b", san.Generic)
+	g.AddAttrEdge(0, a)
+	g.AddAttrEdge(1, a)
+	g.AddAttrEdge(4, b)
+	g.AddAttrEdge(5, b)
+	// dist(a,b) = min over members = dist(1,4) = 3, +1 = 4.
+	got := EffectiveAttrDiameter(g, 1, 0.9, func(int) san.AttrID { return a })
+	if got != 4 {
+		t.Errorf("attribute distance = %v, want 4", got)
+	}
+	// Empty attribute handled.
+	c := g.AddAttrNode("c", san.Generic)
+	got = EffectiveAttrDiameter(g, 1, 0.9, func(int) san.AttrID { return c })
+	if got != 0 {
+		t.Errorf("empty attribute diameter = %v, want 0", got)
+	}
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import "repro/internal/san"
+
+// OutDegrees returns the social outdegree of every social node.
+func OutDegrees(g *san.SAN) []int {
+	out := make([]int, g.NumSocial())
+	for u := range out {
+		out[u] = g.OutDegree(san.NodeID(u))
+	}
+	return out
+}
+
+// InDegrees returns the social indegree of every social node.
+func InDegrees(g *san.SAN) []int {
+	out := make([]int, g.NumSocial())
+	for u := range out {
+		out[u] = g.InDegree(san.NodeID(u))
+	}
+	return out
+}
+
+// AttrDegrees returns the attribute degree of every social node:
+// the number of attributes each user declares (§4.1).
+func AttrDegrees(g *san.SAN) []int {
+	out := make([]int, g.NumSocial())
+	for u := range out {
+		out[u] = g.AttrDegree(san.NodeID(u))
+	}
+	return out
+}
+
+// AttrSocialDegrees returns the social degree of every attribute node:
+// the number of users declaring each attribute (§4.1).
+func AttrSocialDegrees(g *san.SAN) []int {
+	out := make([]int, g.NumAttrs())
+	for a := range out {
+		out[a] = g.SocialDegreeOfAttr(san.AttrID(a))
+	}
+	return out
+}
+
+// OutDegreesWithAttr returns the outdegrees of the social nodes
+// declaring attribute a (Figure 14's per-attribute degree boxplots).
+func OutDegreesWithAttr(g *san.SAN, a san.AttrID) []int {
+	members := g.Members(a)
+	out := make([]int, len(members))
+	for i, u := range members {
+		out[i] = g.OutDegree(u)
+	}
+	return out
+}

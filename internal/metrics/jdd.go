@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/san"
+)
+
+// KnnPoint is one point of a degree-correlation (knn) curve.
+type KnnPoint struct {
+	Degree int     // x: degree class
+	Knn    float64 // y: average neighbor degree for that class
+	N      int     // number of (node, neighbor) samples aggregated
+}
+
+// SocialKnn computes the degree-correlation function of §3.6: for each
+// outdegree k, the average indegree of all nodes that the outdegree-k
+// nodes link to (Figure 7a).
+func SocialKnn(g *san.SAN) []KnnPoint {
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for u := 0; u < g.NumSocial(); u++ {
+		k := g.OutDegree(san.NodeID(u))
+		if k == 0 {
+			continue
+		}
+		for _, v := range g.Out(san.NodeID(u)) {
+			sum[k] += float64(g.InDegree(v))
+			cnt[k]++
+		}
+	}
+	return knnPoints(sum, cnt)
+}
+
+// AttrKnn computes the attribute joint-degree curve of §4.1: for each
+// social degree k of attribute nodes, the average attribute degree of
+// the social neighbors of those attribute nodes (Figure 12a).
+func AttrKnn(g *san.SAN) []KnnPoint {
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for a := 0; a < g.NumAttrs(); a++ {
+		k := g.SocialDegreeOfAttr(san.AttrID(a))
+		if k == 0 {
+			continue
+		}
+		for _, u := range g.Members(san.AttrID(a)) {
+			sum[k] += float64(g.AttrDegree(u))
+			cnt[k]++
+		}
+	}
+	return knnPoints(sum, cnt)
+}
+
+func knnPoints(sum map[int]float64, cnt map[int]int) []KnnPoint {
+	keys := make([]int, 0, len(sum))
+	for k := range sum {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]KnnPoint, len(keys))
+	for i, k := range keys {
+		out[i] = KnnPoint{Degree: k, Knn: sum[k] / float64(cnt[k]), N: cnt[k]}
+	}
+	return out
+}
+
+// SocialAssortativity returns the assortativity coefficient r of §3.6:
+// the Pearson correlation, over directed social edges (u, v), between
+// the outdegree of the source u and the indegree of the target v.
+// It ranges over [-1, 1]; Google+ is near 0 (Figure 7b).
+func SocialAssortativity(g *san.SAN) float64 {
+	var xs, ys []float64
+	g.ForEachSocialEdge(func(u, v san.NodeID) {
+		xs = append(xs, float64(g.OutDegree(u)))
+		ys = append(ys, float64(g.InDegree(v)))
+	})
+	return pearson(xs, ys)
+}
+
+// AttrAssortativity returns the attribute assortativity coefficient of
+// §4.1: the Pearson correlation, over attribute links (u, a), between
+// the social degree of the attribute node a and the attribute degree
+// of the social node u (Figure 12b).
+func AttrAssortativity(g *san.SAN) float64 {
+	var xs, ys []float64
+	for a := 0; a < g.NumAttrs(); a++ {
+		k := float64(g.SocialDegreeOfAttr(san.AttrID(a)))
+		for _, u := range g.Members(san.AttrID(a)) {
+			xs = append(xs, k)
+			ys = append(ys, float64(g.AttrDegree(u)))
+		}
+	}
+	return pearson(xs, ys)
+}
+
+// pearson duplicates stats.Pearson to keep metrics free of the stats
+// dependency (metrics is a measurement layer; stats is a modeling one).
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx < 1e-12 || vy < 1e-12 {
+		return 0
+	}
+	return cov / (math.Sqrt(vx) * math.Sqrt(vy))
+}

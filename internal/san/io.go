@@ -1,0 +1,144 @@
+package san
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The serialization format is a line-oriented text format:
+//
+//	san 1
+//	social <numSocialNodes>
+//	attr <id> <type> <name>        (one line per attribute node)
+//	e <u> <v>                      (one line per directed social edge)
+//	a <u> <attrID>                 (one line per attribute link)
+//
+// Attribute names are written verbatim and must not contain newlines.
+// The format round-trips everything except adjacency-list ordering
+// (lists are written in canonical sorted order).
+
+// WriteTo serializes the SAN to w in the text format above.
+func (g *SAN) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "san 1\nsocial %d\n", g.NumSocial())); err != nil {
+		return n, err
+	}
+	for a := 0; a < g.NumAttrs(); a++ {
+		if err := count(fmt.Fprintf(bw, "attr %d %d %s\n", a, g.attrType[a], g.attrName[a])); err != nil {
+			return n, err
+		}
+	}
+	for u := 0; u < g.NumSocial(); u++ {
+		outs := append([]NodeID(nil), g.out[u]...)
+		sortNodes(outs)
+		for _, v := range outs {
+			if err := count(fmt.Fprintf(bw, "e %d %d\n", u, v)); err != nil {
+				return n, err
+			}
+		}
+	}
+	for u := 0; u < g.NumSocial(); u++ {
+		attrs := append([]AttrID(nil), g.attr[u]...)
+		for i := 1; i < len(attrs); i++ {
+			for j := i; j > 0 && attrs[j] < attrs[j-1]; j-- {
+				attrs[j], attrs[j-1] = attrs[j-1], attrs[j]
+			}
+		}
+		for _, a := range attrs {
+			if err := count(fmt.Fprintf(bw, "a %d %d\n", u, a)); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Read parses a SAN from the text format produced by WriteTo.
+func Read(r io.Reader) (*SAN, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	hdr, ok := next()
+	if !ok || hdr != "san 1" {
+		return nil, fmt.Errorf("san: line %d: bad header %q", line, hdr)
+	}
+	socialLine, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("san: missing social count")
+	}
+	var numSocial int
+	if _, err := fmt.Sscanf(socialLine, "social %d", &numSocial); err != nil {
+		return nil, fmt.Errorf("san: line %d: %v", line, err)
+	}
+	g := New(numSocial, 0, 0)
+	g.AddSocialNodes(numSocial)
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.SplitN(s, " ", 4)
+		switch fields[0] {
+		case "attr":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("san: line %d: malformed attr line %q", line, s)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			typ, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || AttrType(typ) >= numAttrTypes {
+				return nil, fmt.Errorf("san: line %d: malformed attr line %q", line, s)
+			}
+			got := g.AddAttrNode(fields[3], AttrType(typ))
+			if int(got) != id {
+				return nil, fmt.Errorf("san: line %d: attribute IDs must be dense and ordered (got %d, want %d)", line, got, id)
+			}
+		case "e":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("san: line %d: malformed edge line %q", line, s)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= numSocial || v >= numSocial {
+				return nil, fmt.Errorf("san: line %d: bad edge %q", line, s)
+			}
+			g.AddSocialEdge(NodeID(u), NodeID(v))
+		case "a":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("san: line %d: malformed attr-edge line %q", line, s)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			a, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || u < 0 || u >= numSocial || a < 0 || a >= g.NumAttrs() {
+				return nil, fmt.Errorf("san: line %d: bad attr edge %q", line, s)
+			}
+			g.AddAttrEdge(NodeID(u), AttrID(a))
+		default:
+			return nil, fmt.Errorf("san: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,471 @@
+// Package san implements the Social-Attribute Network (SAN) data
+// structure from Gong et al., "Evolution of Social-Attribute Networks"
+// (IMC 2012).
+//
+// A SAN augments a directed social graph G = (Vs, Es) with M binary
+// attribute nodes Va and undirected attribute links Ea between social
+// nodes and the attributes they declare.  Social links are directed
+// ("u has v in circles"); attribute links are undirected.
+//
+// The zero value of SAN is not ready to use; construct instances with
+// New.  SAN is not safe for concurrent mutation; concurrent readers are
+// fine once mutation has stopped.
+package san
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a social node.  IDs are dense and start at 0.
+type NodeID int32
+
+// AttrID identifies an attribute node.  IDs are dense and start at 0,
+// in a namespace separate from NodeID.
+type AttrID int32
+
+// AttrType classifies an attribute node.  The paper uses four profile
+// attribute types; Generic covers synthetic or untyped attributes.
+type AttrType uint8
+
+// Attribute types observed in the Google+ dataset.
+const (
+	Generic AttrType = iota
+	School
+	Major
+	Employer
+	City
+	numAttrTypes
+)
+
+// AttrTypes lists the four profile attribute types from the paper, in
+// the order used by per-type experiments (Figure 13b).
+var AttrTypes = []AttrType{City, School, Major, Employer}
+
+// String returns the human-readable name of the attribute type.
+func (t AttrType) String() string {
+	switch t {
+	case School:
+		return "School"
+	case Major:
+		return "Major"
+	case Employer:
+		return "Employer"
+	case City:
+		return "City"
+	default:
+		return "Generic"
+	}
+}
+
+// SAN is a social-attribute network: a directed social graph over
+// social nodes plus undirected links from social nodes to attribute
+// nodes.  All mutating methods are amortized O(1) except where noted.
+type SAN struct {
+	out  [][]NodeID // social out-adjacency ("in your circles")
+	in   [][]NodeID // social in-adjacency ("have you in circles")
+	attr [][]AttrID // attribute neighbors of each social node
+
+	members [][]NodeID // social neighbors of each attribute node
+
+	attrType  []AttrType
+	attrName  []string
+	attrIndex map[string]AttrID
+
+	socialEdges map[uint64]struct{} // packed (u,v) directed social edges
+	attrEdges   map[uint64]struct{} // packed (u,a) attribute links
+
+	mutual int // number of ordered social edges whose reverse also exists
+}
+
+// New returns an empty SAN with capacity hints for the expected number
+// of social nodes, attribute nodes and social edges.  Hints may be zero.
+func New(socialHint, attrHint, edgeHint int) *SAN {
+	return &SAN{
+		out:         make([][]NodeID, 0, socialHint),
+		in:          make([][]NodeID, 0, socialHint),
+		attr:        make([][]AttrID, 0, socialHint),
+		members:     make([][]NodeID, 0, attrHint),
+		attrType:    make([]AttrType, 0, attrHint),
+		attrName:    make([]string, 0, attrHint),
+		attrIndex:   make(map[string]AttrID, attrHint),
+		socialEdges: make(map[uint64]struct{}, edgeHint),
+		attrEdges:   make(map[uint64]struct{}, edgeHint/4+1),
+	}
+}
+
+func packSocial(u, v NodeID) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+func packAttr(u NodeID, a AttrID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(a))
+}
+
+// NumSocial returns |Vs|, the number of social nodes.
+func (g *SAN) NumSocial() int { return len(g.out) }
+
+// NumAttrs returns |Va|, the number of attribute nodes.
+func (g *SAN) NumAttrs() int { return len(g.members) }
+
+// NumSocialEdges returns |Es|, the number of directed social links.
+func (g *SAN) NumSocialEdges() int { return len(g.socialEdges) }
+
+// NumAttrEdges returns |Ea|, the number of attribute links.
+func (g *SAN) NumAttrEdges() int { return len(g.attrEdges) }
+
+// AddSocialNode appends a new social node and returns its ID.
+func (g *SAN) AddSocialNode() NodeID {
+	id := NodeID(len(g.out))
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.attr = append(g.attr, nil)
+	return id
+}
+
+// AddSocialNodes appends n social nodes and returns the ID of the first.
+func (g *SAN) AddSocialNodes(n int) NodeID {
+	first := NodeID(len(g.out))
+	for i := 0; i < n; i++ {
+		g.AddSocialNode()
+	}
+	return first
+}
+
+// AddAttrNode appends a new attribute node with the given name and
+// type and returns its ID.  If an attribute with the same name already
+// exists, its existing ID is returned and the type is left unchanged.
+func (g *SAN) AddAttrNode(name string, t AttrType) AttrID {
+	if id, ok := g.attrIndex[name]; ok {
+		return id
+	}
+	id := AttrID(len(g.members))
+	g.members = append(g.members, nil)
+	g.attrType = append(g.attrType, t)
+	g.attrName = append(g.attrName, name)
+	g.attrIndex[name] = id
+	return id
+}
+
+// AttrByName returns the ID of the named attribute node, if present.
+func (g *SAN) AttrByName(name string) (AttrID, bool) {
+	id, ok := g.attrIndex[name]
+	return id, ok
+}
+
+// AttrName returns the name of attribute node a.
+func (g *SAN) AttrName(a AttrID) string { return g.attrName[a] }
+
+// AttrTypeOf returns the type of attribute node a.
+func (g *SAN) AttrTypeOf(a AttrID) AttrType { return g.attrType[a] }
+
+// AddSocialEdge inserts the directed social link u -> v.  It reports
+// whether the edge was newly added (false for duplicates and self loops).
+func (g *SAN) AddSocialEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	key := packSocial(u, v)
+	if _, dup := g.socialEdges[key]; dup {
+		return false
+	}
+	g.socialEdges[key] = struct{}{}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	if _, rev := g.socialEdges[packSocial(v, u)]; rev {
+		g.mutual += 2
+	}
+	return true
+}
+
+// HasSocialEdge reports whether the directed social link u -> v exists.
+func (g *SAN) HasSocialEdge(u, v NodeID) bool {
+	_, ok := g.socialEdges[packSocial(u, v)]
+	return ok
+}
+
+// AddAttrEdge inserts the undirected attribute link between social node
+// u and attribute node a.  It reports whether the link was newly added.
+func (g *SAN) AddAttrEdge(u NodeID, a AttrID) bool {
+	key := packAttr(u, a)
+	if _, dup := g.attrEdges[key]; dup {
+		return false
+	}
+	g.attrEdges[key] = struct{}{}
+	g.attr[u] = append(g.attr[u], a)
+	g.members[a] = append(g.members[a], u)
+	return true
+}
+
+// HasAttrEdge reports whether social node u declares attribute a.
+func (g *SAN) HasAttrEdge(u NodeID, a AttrID) bool {
+	_, ok := g.attrEdges[packAttr(u, a)]
+	return ok
+}
+
+// Out returns the social out-neighbors of u.  The returned slice is
+// owned by the SAN and must not be modified.
+func (g *SAN) Out(u NodeID) []NodeID { return g.out[u] }
+
+// In returns the social in-neighbors of u.  The returned slice is owned
+// by the SAN and must not be modified.
+func (g *SAN) In(u NodeID) []NodeID { return g.in[u] }
+
+// Attrs returns the attribute neighbors Γa(u) of social node u.
+func (g *SAN) Attrs(u NodeID) []AttrID { return g.attr[u] }
+
+// Members returns the social neighbors Γs(a) of attribute node a,
+// i.e. the users declaring attribute a.
+func (g *SAN) Members(a AttrID) []NodeID { return g.members[a] }
+
+// OutDegree returns |Γs,out(u)|.
+func (g *SAN) OutDegree(u NodeID) int { return len(g.out[u]) }
+
+// InDegree returns |Γs,in(u)|.
+func (g *SAN) InDegree(u NodeID) int { return len(g.in[u]) }
+
+// AttrDegree returns |Γa(u)|, the number of attributes social node u declares.
+func (g *SAN) AttrDegree(u NodeID) int { return len(g.attr[u]) }
+
+// SocialDegreeOfAttr returns |Γs(a)|, the number of users declaring a.
+func (g *SAN) SocialDegreeOfAttr(a AttrID) int { return len(g.members[a]) }
+
+// SocialNeighbors returns Γs(u): the set of social nodes adjacent to u
+// through a social link in either direction, deduplicated.  The result
+// is freshly allocated.  Cost is O(deg(u)).
+func (g *SAN) SocialNeighbors(u NodeID) []NodeID {
+	outs, ins := g.out[u], g.in[u]
+	res := make([]NodeID, 0, len(outs)+len(ins))
+	res = append(res, outs...)
+	for _, v := range ins {
+		if !g.HasSocialEdge(u, v) {
+			res = append(res, v)
+		}
+	}
+	return res
+}
+
+// SocialNeighborCount returns |Γs(u)| without allocating.
+func (g *SAN) SocialNeighborCount(u NodeID) int {
+	n := len(g.out[u])
+	for _, v := range g.in[u] {
+		if !g.HasSocialEdge(u, v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Mutual returns the number of ordered social edges whose reverse edge
+// also exists.  Reciprocity is Mutual/NumSocialEdges.
+func (g *SAN) Mutual() int { return g.mutual }
+
+// Reciprocity returns the fraction of social links that are mutual, the
+// metric of §3.1.  It returns 0 for an edgeless network.
+func (g *SAN) Reciprocity() float64 {
+	if len(g.socialEdges) == 0 {
+		return 0
+	}
+	return float64(g.mutual) / float64(len(g.socialEdges))
+}
+
+// SocialDensity returns |Es|/|Vs| (§3.2), or 0 for an empty network.
+func (g *SAN) SocialDensity() float64 {
+	if len(g.out) == 0 {
+		return 0
+	}
+	return float64(len(g.socialEdges)) / float64(len(g.out))
+}
+
+// AttrDensity returns |Ea|/|Va| (§4.1), or 0 when there are no
+// attribute nodes.
+func (g *SAN) AttrDensity() float64 {
+	if len(g.members) == 0 {
+		return 0
+	}
+	return float64(len(g.attrEdges)) / float64(len(g.members))
+}
+
+// CommonAttrs returns a(u,v): the number of attributes shared by social
+// nodes u and v.  Cost is O(min attribute degree).
+func (g *SAN) CommonAttrs(u, v NodeID) int {
+	au, av := g.attr[u], g.attr[v]
+	if len(au) == 0 || len(av) == 0 {
+		return 0
+	}
+	if len(au) > len(av) {
+		au, av = av, au
+		u, v = v, u
+	}
+	n := 0
+	for _, a := range au {
+		if g.HasAttrEdge(v, a) {
+			n++
+		}
+	}
+	return n
+}
+
+// CommonSocialNeighbors returns the number of social nodes adjacent
+// (in either direction) to both u and v.  Cost is O(deg(u)+deg(v)).
+func (g *SAN) CommonSocialNeighbors(u, v NodeID) int {
+	du := len(g.out[u]) + len(g.in[u])
+	dv := len(g.out[v]) + len(g.in[v])
+	if du > dv {
+		u, v = v, u
+	}
+	seen := make(map[NodeID]bool, du)
+	for _, w := range g.SocialNeighbors(u) {
+		if w != v {
+			seen[w] = true
+		}
+	}
+	n := 0
+	for _, w := range g.SocialNeighbors(v) {
+		if seen[w] {
+			n++
+			seen[w] = false // count each common neighbor once
+		}
+	}
+	return n
+}
+
+// ForEachSocialEdge calls fn for every directed social edge (u, v).
+// Iteration order is unspecified but deterministic for a fixed build
+// history (it follows adjacency insertion order).
+func (g *SAN) ForEachSocialEdge(fn func(u, v NodeID)) {
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			fn(NodeID(u), v)
+		}
+	}
+}
+
+// Clone returns a deep copy of the SAN.  Snapshots taken during an
+// evolving simulation use Clone so later mutation does not alias.
+func (g *SAN) Clone() *SAN {
+	c := &SAN{
+		out:         cloneAdj(g.out),
+		in:          cloneAdj(g.in),
+		attr:        cloneAdjA(g.attr),
+		members:     cloneAdj(g.members),
+		attrType:    append([]AttrType(nil), g.attrType...),
+		attrName:    append([]string(nil), g.attrName...),
+		attrIndex:   make(map[string]AttrID, len(g.attrIndex)),
+		socialEdges: make(map[uint64]struct{}, len(g.socialEdges)),
+		attrEdges:   make(map[uint64]struct{}, len(g.attrEdges)),
+		mutual:      g.mutual,
+	}
+	for k, v := range g.attrIndex {
+		c.attrIndex[k] = v
+	}
+	for k := range g.socialEdges {
+		c.socialEdges[k] = struct{}{}
+	}
+	for k := range g.attrEdges {
+		c.attrEdges[k] = struct{}{}
+	}
+	return c
+}
+
+func cloneAdj(a [][]NodeID) [][]NodeID {
+	c := make([][]NodeID, len(a))
+	for i, s := range a {
+		if len(s) > 0 {
+			c[i] = append([]NodeID(nil), s...)
+		}
+	}
+	return c
+}
+
+func cloneAdjA(a [][]AttrID) [][]AttrID {
+	c := make([][]AttrID, len(a))
+	for i, s := range a {
+		if len(s) > 0 {
+			c[i] = append([]AttrID(nil), s...)
+		}
+	}
+	return c
+}
+
+// Stats is a compact summary of SAN size used by snapshot time series
+// (Figures 2 and 3).
+type Stats struct {
+	SocialNodes int
+	AttrNodes   int
+	SocialLinks int
+	AttrLinks   int
+}
+
+// Stats returns the node and link counts of the SAN.
+func (g *SAN) Stats() Stats {
+	return Stats{
+		SocialNodes: g.NumSocial(),
+		AttrNodes:   g.NumAttrs(),
+		SocialLinks: g.NumSocialEdges(),
+		AttrLinks:   g.NumAttrEdges(),
+	}
+}
+
+// Validate checks internal invariants: adjacency lists agree with the
+// edge sets, degree sums match edge counts, and the mutual-edge counter
+// is consistent.  It is used by tests and returns the first violation.
+func (g *SAN) Validate() error {
+	if len(g.out) != len(g.in) || len(g.out) != len(g.attr) {
+		return fmt.Errorf("social slice length mismatch: out=%d in=%d attr=%d", len(g.out), len(g.in), len(g.attr))
+	}
+	outSum, inSum := 0, 0
+	for u := range g.out {
+		outSum += len(g.out[u])
+		inSum += len(g.in[u])
+		for _, v := range g.out[u] {
+			if !g.HasSocialEdge(NodeID(u), v) {
+				return fmt.Errorf("adjacency edge (%d,%d) missing from edge set", u, v)
+			}
+		}
+	}
+	if outSum != len(g.socialEdges) || inSum != len(g.socialEdges) {
+		return fmt.Errorf("degree sums (out=%d, in=%d) disagree with |Es|=%d", outSum, inSum, len(g.socialEdges))
+	}
+	mutual := 0
+	for k := range g.socialEdges {
+		u, v := NodeID(k>>32), NodeID(uint32(k))
+		if g.HasSocialEdge(v, u) {
+			mutual++
+		}
+	}
+	if mutual != g.mutual {
+		return fmt.Errorf("mutual counter %d, recomputed %d", g.mutual, mutual)
+	}
+	attrSum, memberSum := 0, 0
+	for u := range g.attr {
+		attrSum += len(g.attr[u])
+		for _, a := range g.attr[u] {
+			if !g.HasAttrEdge(NodeID(u), a) {
+				return fmt.Errorf("attr adjacency (%d,%d) missing from edge set", u, a)
+			}
+		}
+	}
+	for a := range g.members {
+		memberSum += len(g.members[a])
+	}
+	if attrSum != len(g.attrEdges) || memberSum != len(g.attrEdges) {
+		return fmt.Errorf("attr degree sums (%d, %d) disagree with |Ea|=%d", attrSum, memberSum, len(g.attrEdges))
+	}
+	return nil
+}
+
+// SortAdjacency sorts every adjacency list in ascending node order.
+// It makes iteration order canonical (useful for serialization and for
+// reproducible tests); metric code does not require it.
+func (g *SAN) SortAdjacency() {
+	for u := range g.out {
+		sortNodes(g.out[u])
+		sortNodes(g.in[u])
+		sort.Slice(g.attr[u], func(i, j int) bool { return g.attr[u][i] < g.attr[u][j] })
+	}
+	for a := range g.members {
+		sortNodes(g.members[a])
+	}
+}
+
+func sortNodes(s []NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

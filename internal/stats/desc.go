@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MeanStd returns the sample mean and (population) standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / n
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / n)
+}
+
+// Percentile returns the q-th percentile (0 <= q <= 100) of the data
+// with linear interpolation between order statistics, matching the
+// "possibly with some interpolation" effective-diameter definition.
+// The input need not be sorted.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, q)
+}
+
+func percentileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// PercentilesInt returns the requested percentiles of integer data,
+// used by the per-attribute degree boxplots of Figure 14.
+func PercentilesInt(data []int, qs ...float64) []float64 {
+	xs := make([]float64, len(data))
+	for i, k := range data {
+		xs[i] = float64(k)
+	}
+	sort.Float64s(xs)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if len(xs) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = percentileSorted(xs, q)
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples, or 0 when either side has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, sx := MeanStd(xs)
+	my, sy := MeanStd(ys)
+	if sx < 1e-12 || sy < 1e-12 {
+		return 0
+	}
+	var cov float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+	}
+	cov /= float64(len(xs))
+	return cov / (sx * sy)
+}
+
+// PMFPoint is one point of an empirical probability mass function.
+type PMFPoint struct {
+	K int     // value (e.g. degree)
+	P float64 // empirical probability
+}
+
+// PMF returns the empirical PMF of the data over values >= 1, sorted
+// by value.  Zero values are excluded, matching the log-log degree
+// plots in the paper.
+func PMF(data []int) []PMFPoint {
+	counts := countValues(data, 1)
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return nil
+	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]PMFPoint, len(keys))
+	for i, k := range keys {
+		out[i] = PMFPoint{K: k, P: float64(counts[k]) / float64(n)}
+	}
+	return out
+}
+
+// CCDFPoint is one point of an empirical complementary CDF.
+type CCDFPoint struct {
+	K int
+	P float64 // P(X >= K)
+}
+
+// CCDF returns the empirical complementary CDF P(X >= k) at every
+// distinct value k >= 1 in the data.
+func CCDF(data []int) []CCDFPoint {
+	counts := countValues(data, 1)
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return nil
+	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]CCDFPoint, len(keys))
+	remaining := n
+	for i, k := range keys {
+		out[i] = CCDFPoint{K: k, P: float64(remaining) / float64(n)}
+		remaining -= counts[k]
+	}
+	return out
+}
+
+// LogBinPoint is a point of a logarithmically binned curve: the
+// geometric bin center and the average of the y-values that fell in it.
+type LogBinPoint struct {
+	X float64
+	Y float64
+	N int // number of raw points aggregated
+}
+
+// LogBinAverage bins positive xs into bins of the given logarithmic
+// width factor (e.g. 2 doubles the bin edge each time) and averages the
+// corresponding ys, yielding smoothed log-log curves such as knn and
+// clustering-vs-degree (Figures 7a, 9, 12a, 17).
+func LogBinAverage(xs, ys []float64, factor float64) []LogBinPoint {
+	if factor <= 1 {
+		factor = 2
+	}
+	type agg struct {
+		sum float64
+		n   int
+	}
+	bins := make(map[int]*agg)
+	for i, x := range xs {
+		if x < 1 {
+			continue
+		}
+		b := int(math.Floor(math.Log(x) / math.Log(factor)))
+		a := bins[b]
+		if a == nil {
+			a = &agg{}
+			bins[b] = a
+		}
+		a.sum += ys[i]
+		a.n++
+	}
+	keys := make([]int, 0, len(bins))
+	for b := range bins {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	out := make([]LogBinPoint, 0, len(keys))
+	for _, b := range keys {
+		lo := math.Pow(factor, float64(b))
+		hi := math.Pow(factor, float64(b+1))
+		center := math.Sqrt(lo * hi)
+		a := bins[b]
+		out = append(out, LogBinPoint{X: center, Y: a.sum / float64(a.n), N: a.n})
+	}
+	return out
+}
+
+// IntsToFloats converts an integer sample to float64 for the generic
+// descriptive helpers.
+func IntsToFloats(data []int) []float64 {
+	out := make([]float64, len(data))
+	for i, k := range data {
+		out[i] = float64(k)
+	}
+	return out
+}
+
+// LogMoments returns the mean and standard deviation of ln(k) over
+// data values >= 1: the continuous-MLE lognormal parameters tracked in
+// Figures 6 and 11a.
+func LogMoments(data []int) (mu, sigma float64) {
+	var logs []float64
+	for _, k := range data {
+		if k >= 1 {
+			logs = append(logs, math.Log(float64(k)))
+		}
+	}
+	return MeanStd(logs)
+}

@@ -1,0 +1,258 @@
+// Package sybil implements the SybilLimit evaluation of §6.2
+// (Figure 19a): given a social topology and a set of compromised
+// nodes, it computes the number of Sybil identities an adversary can
+// get accepted.  Following the paper's methodology, the social graph
+// is used undirected with a node-degree bound of 100 and random routes
+// of length w = 10; compromised nodes are chosen uniformly at random.
+//
+// SybilLimit's guarantee is that each attack edge (an edge between a
+// compromised and an honest node) lets the adversary register O(w)
+// Sybil identities, so the accepted-Sybil count is attackEdges · w.
+// The package also implements the random-route machinery itself
+// (per-node random permutations over incident edges) so route escape
+// probabilities can be measured rather than assumed.
+package sybil
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/san"
+)
+
+// Topology is the degree-bounded undirected view of a social network
+// that SybilLimit operates on.
+type Topology struct {
+	adj [][]san.NodeID
+}
+
+// BuildTopology converts the SAN's social structure into an undirected
+// graph, keeping at most bound incident edges per node (SybilLimit's
+// degree bound; the paper uses 100).  When a node exceeds the bound, a
+// uniform subset of its edges is kept, chosen deterministically from rng.
+func BuildTopology(g *san.SAN, bound int, rng *rand.Rand) *Topology {
+	n := g.NumSocial()
+	t := &Topology{adj: make([][]san.NodeID, n)}
+	for u := 0; u < n; u++ {
+		nbrs := g.SocialNeighbors(san.NodeID(u))
+		if bound > 0 && len(nbrs) > bound {
+			// Partial Fisher-Yates: keep a uniform subset.
+			for i := 0; i < bound; i++ {
+				j := i + rng.IntN(len(nbrs)-i)
+				nbrs[i], nbrs[j] = nbrs[j], nbrs[i]
+			}
+			nbrs = nbrs[:bound]
+		}
+		t.adj[u] = nbrs
+	}
+	return t
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.adj) }
+
+// Degree returns the bounded degree of u.
+func (t *Topology) Degree(u san.NodeID) int { return len(t.adj[u]) }
+
+// Neighbors returns the bounded neighbor list of u.
+func (t *Topology) Neighbors(u san.NodeID) []san.NodeID { return t.adj[u] }
+
+// CompromisePlan is a random permutation of the nodes; taking its
+// first c elements yields uniformly random compromise sets that are
+// nested across c, so sweeps over growing compromise counts are
+// monotone by construction.
+type CompromisePlan []san.NodeID
+
+// NewCompromisePlan draws the permutation.
+func NewCompromisePlan(n int, rng *rand.Rand) CompromisePlan {
+	perm := make([]san.NodeID, n)
+	for i := range perm {
+		perm[i] = san.NodeID(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Take returns the compromise set of the first c nodes in the plan.
+func (p CompromisePlan) Take(c int) map[san.NodeID]bool {
+	if c > len(p) {
+		c = len(p)
+	}
+	out := make(map[san.NodeID]bool, c)
+	for _, u := range p[:c] {
+		out[u] = true
+	}
+	return out
+}
+
+// CompromiseUniform selects c distinct compromised nodes uniformly at
+// random, as in the paper's experiments.
+func CompromiseUniform(n, c int, rng *rand.Rand) map[san.NodeID]bool {
+	if c > n {
+		c = n
+	}
+	perm := make([]san.NodeID, n)
+	for i := range perm {
+		perm[i] = san.NodeID(i)
+	}
+	out := make(map[san.NodeID]bool, c)
+	for i := 0; i < c; i++ {
+		j := i + rng.IntN(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+		out[perm[i]] = true
+	}
+	return out
+}
+
+// AttackEdges counts g: the number of (bounded) edges between
+// compromised and honest nodes.  Each such edge is an attack edge in
+// SybilLimit's threat model.
+func (t *Topology) AttackEdges(compromised map[san.NodeID]bool) int {
+	g := 0
+	for u := range t.adj {
+		if !compromised[san.NodeID(u)] {
+			continue
+		}
+		for _, v := range t.adj[u] {
+			if !compromised[v] {
+				g++
+			}
+		}
+	}
+	return g
+}
+
+// SybilsAccepted returns the number of Sybil identities accepted with
+// route length w: attackEdges · w, SybilLimit's per-attack-edge bound
+// (the quantity plotted in Figure 19a).
+func (t *Topology) SybilsAccepted(compromised map[san.NodeID]bool, w int) int {
+	return t.AttackEdges(compromised) * w
+}
+
+// Router holds the per-node random routing permutations of SybilLimit.
+// A route entering node u through its i-th incident edge departs
+// through edge π_u(i); routes are therefore convergent and reversible,
+// the property SybilLimit's intersection test relies on.
+type Router struct {
+	topo *Topology
+	perm [][]int32
+}
+
+// NewRouter draws the routing permutations.
+func NewRouter(t *Topology, rng *rand.Rand) *Router {
+	r := &Router{topo: t, perm: make([][]int32, len(t.adj))}
+	for u := range t.adj {
+		d := len(t.adj[u])
+		p := make([]int32, d)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		for i := d - 1; i > 0; i-- {
+			j := rng.IntN(i + 1)
+			p[i], p[j] = p[j], p[i]
+		}
+		r.perm[u] = p
+	}
+	return r
+}
+
+// edgeIndex returns the position of neighbor v in u's adjacency list,
+// or -1.  Incident-edge indices are what the permutations act on.
+func (r *Router) edgeIndex(u, v san.NodeID) int {
+	for i, w := range r.topo.adj[u] {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Route walks the random route of length w starting at u through its
+// firstEdge-th incident edge and returns the visited nodes (excluding
+// u).  Routes that reach a node with no return-edge entry stop early.
+func (r *Router) Route(u san.NodeID, firstEdge, w int) []san.NodeID {
+	var out []san.NodeID
+	cur := u
+	d := r.topo.Degree(cur)
+	if d == 0 {
+		return nil
+	}
+	next := r.topo.adj[cur][firstEdge%d]
+	out = append(out, next)
+	prev := cur
+	cur = next
+	for step := 1; step < w; step++ {
+		in := r.edgeIndex(cur, prev)
+		if in < 0 || r.topo.Degree(cur) == 0 {
+			break
+		}
+		out_ := r.perm[cur][in]
+		nxt := r.topo.adj[cur][out_]
+		out = append(out, nxt)
+		prev, cur = cur, nxt
+	}
+	return out
+}
+
+// EscapeProbability estimates the probability that a length-w random
+// route started at a uniformly random honest node enters the
+// compromised region — the quantity that degrades SybilLimit's
+// guarantees as the adversary compromises more nodes.
+func (r *Router) EscapeProbability(compromised map[san.NodeID]bool, w, trials int, rng *rand.Rand) float64 {
+	n := r.topo.NumNodes()
+	escapes, done := 0, 0
+	for i := 0; i < trials; i++ {
+		u := san.NodeID(rng.IntN(n))
+		if compromised[u] || r.topo.Degree(u) == 0 {
+			continue
+		}
+		done++
+		for _, v := range r.Route(u, rng.IntN(r.topo.Degree(u)), w) {
+			if compromised[v] {
+				escapes++
+				break
+			}
+		}
+	}
+	if done == 0 {
+		return 0
+	}
+	return float64(escapes) / float64(done)
+}
+
+// Curve runs the Figure 19a sweep: for each compromise count c it
+// reports the accepted Sybil identities (attackEdges · w).
+type CurvePoint struct {
+	Compromised  int
+	AttackEdges  int
+	Sybils       int
+	EscapeProb   float64
+	RouteSamples int
+}
+
+// Sweep computes the curve for the given compromise counts.  Escape
+// probabilities are estimated with the given number of route trials
+// (0 disables the estimate).
+func Sweep(g *san.SAN, counts []int, w, bound, trials int, seed uint64) []CurvePoint {
+	rng := rand.New(rand.NewPCG(seed, seed^0xa54ff53a5f1d36f1))
+	topo := BuildTopology(g, bound, rng)
+	router := NewRouter(topo, rng)
+	plan := NewCompromisePlan(topo.NumNodes(), rng)
+	out := make([]CurvePoint, 0, len(counts))
+	for _, c := range counts {
+		comp := plan.Take(c)
+		p := CurvePoint{
+			Compromised: c,
+			AttackEdges: topo.AttackEdges(comp),
+			Sybils:      topo.SybilsAccepted(comp, w),
+		}
+		if trials > 0 {
+			p.EscapeProb = router.EscapeProbability(comp, w, trials, rng)
+			p.RouteSamples = trials
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package sybil
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/san"
+)
+
+// ring builds an undirected ring of n nodes (as directed mutual edges).
+func ring(n int) *san.SAN {
+	g := san.New(n, 0, 2*n)
+	g.AddSocialNodes(n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		g.AddSocialEdge(san.NodeID(i), san.NodeID(j))
+		g.AddSocialEdge(san.NodeID(j), san.NodeID(i))
+	}
+	return g
+}
+
+func TestBuildTopologyDegreeBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g := san.New(0, 0, 0)
+	g.AddSocialNodes(50)
+	for v := san.NodeID(1); v < 50; v++ {
+		g.AddSocialEdge(0, v)
+	}
+	topo := BuildTopology(g, 10, rng)
+	if d := topo.Degree(0); d != 10 {
+		t.Errorf("hub degree = %d, want bound 10", d)
+	}
+	if d := topo.Degree(1); d != 1 {
+		t.Errorf("leaf degree = %d, want 1", d)
+	}
+	unbounded := BuildTopology(g, 0, rng)
+	if d := unbounded.Degree(0); d != 49 {
+		t.Errorf("unbounded hub degree = %d, want 49", d)
+	}
+}
+
+func TestCompromiseUniform(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	comp := CompromiseUniform(100, 30, rng)
+	if len(comp) != 30 {
+		t.Errorf("compromised %d nodes, want 30", len(comp))
+	}
+	over := CompromiseUniform(10, 50, rng)
+	if len(over) != 10 {
+		t.Errorf("over-compromise clamps to n: got %d", len(over))
+	}
+}
+
+func TestAttackEdgesRing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	g := ring(10)
+	topo := BuildTopology(g, 100, rng)
+	// Compromise one node on a ring: exactly 2 attack edges.
+	comp := map[san.NodeID]bool{3: true}
+	if got := topo.AttackEdges(comp); got != 2 {
+		t.Errorf("AttackEdges = %d, want 2", got)
+	}
+	if got := topo.SybilsAccepted(comp, 10); got != 20 {
+		t.Errorf("SybilsAccepted = %d, want 20", got)
+	}
+	// Two adjacent compromised nodes: the edge between them is not an
+	// attack edge.
+	comp[4] = true
+	if got := topo.AttackEdges(comp); got != 2 {
+		t.Errorf("adjacent pair AttackEdges = %d, want 2", got)
+	}
+}
+
+func TestRouteProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	g := ring(20)
+	topo := BuildTopology(g, 100, rng)
+	router := NewRouter(topo, rng)
+	route := router.Route(0, 0, 10)
+	if len(route) != 10 {
+		t.Fatalf("route length = %d, want 10", len(route))
+	}
+	// Each consecutive pair must be adjacent on the ring.
+	prev := san.NodeID(0)
+	for _, v := range route {
+		diff := int(v) - int(prev)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff != 1 && diff != 19 {
+			t.Fatalf("route step %d -> %d is not a ring edge", prev, v)
+		}
+		prev = v
+	}
+}
+
+// TestRoutesConvergent verifies SybilLimit's key property: two routes
+// entering a node through the same edge continue identically
+// (the permutation routing is deterministic per node).
+func TestRoutesConvergent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	g := ring(16)
+	topo := BuildTopology(g, 100, rng)
+	router := NewRouter(topo, rng)
+	r1 := router.Route(0, 0, 8)
+	r2 := router.Route(0, 0, 8)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("routes diverged at step %d: %v vs %v", i, r1, r2)
+		}
+	}
+}
+
+func TestEscapeProbabilityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	g := ring(200)
+	// Add chords for mixing.
+	for i := 0; i < 400; i++ {
+		u, v := san.NodeID(rng.IntN(200)), san.NodeID(rng.IntN(200))
+		g.AddSocialEdge(u, v)
+		g.AddSocialEdge(v, u)
+	}
+	topo := BuildTopology(g, 100, rng)
+	router := NewRouter(topo, rng)
+	few := CompromiseUniform(200, 5, rng)
+	many := CompromiseUniform(200, 60, rng)
+	pFew := router.EscapeProbability(few, 10, 4000, rng)
+	pMany := router.EscapeProbability(many, 10, 4000, rng)
+	if pFew >= pMany {
+		t.Errorf("escape probability should grow with compromise: %.3f vs %.3f", pFew, pMany)
+	}
+	if pMany > 1 || pFew < 0 {
+		t.Errorf("probabilities out of range: %v %v", pFew, pMany)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	g := ring(300)
+	pts := Sweep(g, []int{5, 20, 60}, 10, 100, 0, 1)
+	if len(pts) != 3 {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Sybils <= pts[i-1].Sybils {
+			t.Errorf("Sybil curve should increase: %+v", pts)
+		}
+	}
+	// On a ring every compromised node contributes at most 2 attack
+	// edges, so the curve is bounded by 2·c·w.
+	for _, p := range pts {
+		if p.Sybils > 2*p.Compromised*10 {
+			t.Errorf("point %+v exceeds the ring bound", p)
+		}
+	}
+}
+
+func TestSybilCountScalesWithDegree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	sparse := ring(400)
+	dense := ring(400)
+	for i := 0; i < 3000; i++ {
+		u, v := san.NodeID(rng.IntN(400)), san.NodeID(rng.IntN(400))
+		dense.AddSocialEdge(u, v)
+		dense.AddSocialEdge(v, u)
+	}
+	sp := Sweep(sparse, []int{40}, 10, 100, 0, 2)[0]
+	dp := Sweep(dense, []int{40}, 10, 100, 0, 2)[0]
+	if dp.Sybils <= sp.Sybils {
+		t.Errorf("denser topology should admit more Sybils: %d vs %d", dp.Sybils, sp.Sybils)
+	}
+	// Degree bound must cap the effect.
+	if dp.AttackEdges > 40*100 {
+		t.Errorf("attack edges %d exceed c·bound", dp.AttackEdges)
+	}
+	_ = math.Pi
+}

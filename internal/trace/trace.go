@@ -1,0 +1,119 @@
+// Package trace defines the evolution event log shared by the SAN
+// generators.  A Trace is the ordered list of elementary events
+// (node arrivals, attribute links, social links) produced while a
+// network grows; the likelihood package replays traces to score
+// edge-creation models exactly as the paper does when comparing
+// PA / PAPA / LAPA (Figure 15) and the triangle-closing variants
+// (§5.2).
+package trace
+
+import (
+	"strconv"
+
+	"repro/internal/san"
+)
+
+// Kind distinguishes the elementary evolution events.
+type Kind uint8
+
+const (
+	// NodeArrival records a new social node U joining the network.
+	NodeArrival Kind = iota
+	// NewAttr records the creation of attribute node A; when U >= 0 the
+	// creating social node U is linked to it in the same event.
+	NewAttr
+	// AttrLink records social node U declaring existing attribute A.
+	AttrLink
+	// FirstLink records the first outgoing social link U -> V, created
+	// by the (attribute-augmented) preferential attachment step.
+	FirstLink
+	// TriangleLink records a social link U -> V created by a wake-up
+	// triangle-closing step (triadic or focal).
+	TriangleLink
+	// ReciprocalLink records V reciprocating an existing link, U -> V
+	// where V -> U already existed.
+	ReciprocalLink
+)
+
+// String returns a short name for the event kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeArrival:
+		return "node"
+	case NewAttr:
+		return "new-attr"
+	case AttrLink:
+		return "attr-link"
+	case FirstLink:
+		return "first-link"
+	case TriangleLink:
+		return "triangle-link"
+	case ReciprocalLink:
+		return "reciprocal-link"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one elementary evolution step.
+type Event struct {
+	Kind Kind
+	U    san.NodeID // acting social node
+	V    san.NodeID // link target for social-link events
+	A    san.AttrID // attribute for attribute events
+	Time float64    // model time of the event
+}
+
+// Trace is an ordered event log.  Replaying a trace from an empty SAN
+// reconstructs every intermediate network state.
+type Trace struct {
+	Events []Event
+	// AttrMeta carries the name and type of each attribute node in
+	// creation order, so replay can reconstruct attribute identity.
+	AttrNames []string
+	AttrTypes []san.AttrType
+}
+
+// Append adds an event.
+func (tr *Trace) Append(e Event) { tr.Events = append(tr.Events, e) }
+
+// Replay applies the trace to an empty SAN, invoking visit (if non-nil)
+// *before* each event is applied, so the callback sees the network
+// state the acting node saw when it made its choice.  It returns the
+// final SAN.
+func (tr *Trace) Replay(visit func(g *san.SAN, e Event)) *san.SAN {
+	g := san.New(0, len(tr.AttrNames), len(tr.Events))
+	attrCreated := 0
+	for _, e := range tr.Events {
+		if visit != nil {
+			visit(g, e)
+		}
+		switch e.Kind {
+		case NodeArrival:
+			for g.NumSocial() <= int(e.U) {
+				g.AddSocialNode()
+			}
+		case NewAttr:
+			name, typ := "", san.Generic
+			if attrCreated < len(tr.AttrNames) {
+				name = tr.AttrNames[attrCreated]
+				typ = tr.AttrTypes[attrCreated]
+			}
+			if name == "" {
+				// Synthesize a unique name so AddAttrNode's by-name
+				// dedup cannot merge distinct attribute nodes.
+				name = "attr#" + strconv.Itoa(attrCreated)
+			}
+			attrCreated++
+			id := g.AddAttrNode(name, typ)
+			if e.U >= 0 {
+				g.AddAttrEdge(e.U, id)
+			}
+		case AttrLink:
+			g.AddAttrEdge(e.U, e.A)
+		case FirstLink, TriangleLink, ReciprocalLink:
+			g.AddSocialEdge(e.U, e.V)
+		}
+	}
+	return g
+}

@@ -1,0 +1,71 @@
+package zhel
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func TestGenerateValid(t *testing.T) {
+	g := Generate(NewDefaultParams(3000))
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSocial() != 3003 {
+		t.Errorf("NumSocial = %d, want 3003", g.NumSocial())
+	}
+	if g.NumAttrs() < 20 || g.NumAttrEdges() < 3000 {
+		t.Errorf("group structure too thin: %d groups, %d memberships",
+			g.NumAttrs(), g.NumAttrEdges())
+	}
+}
+
+// TestZhelDegreesArePowerLaw verifies the property that makes Zhel the
+// paper's contrast baseline (Figure 16e-h): social degrees follow a
+// power law, not a lognormal.
+func TestZhelDegreesArePowerLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := NewDefaultParams(15000)
+	p.Seed = 9
+	g := Generate(p)
+
+	in := stats.SelectModel(metrics.InDegrees(g))
+	if in.Winner == "lognormal" {
+		t.Errorf("Zhel indegree classified lognormal (R=%.1f); paper shows power law", in.R)
+	}
+	out := stats.SelectModel(metrics.OutDegrees(g))
+	if out.Winner == "lognormal" {
+		t.Errorf("Zhel outdegree classified lognormal (R=%.1f); paper shows power law", out.R)
+	}
+	// Attribute social degree is heavy-tailed power-law-like too.
+	asd := stats.FitDiscretePowerLaw(metrics.AttrSocialDegrees(g), 0)
+	if asd.Alpha < 1.5 || asd.Alpha > 3.5 {
+		t.Errorf("group-size exponent = %.2f, expected heavy tail in (1.5, 3.5)", asd.Alpha)
+	}
+}
+
+func TestZhelDeterminism(t *testing.T) {
+	p := NewDefaultParams(800)
+	a, b := Generate(p), Generate(p)
+	if a.NumSocialEdges() != b.NumSocialEdges() || a.NumAttrEdges() != b.NumAttrEdges() {
+		t.Errorf("same seed differs: (%d,%d) vs (%d,%d)",
+			a.NumSocialEdges(), a.NumAttrEdges(), b.NumSocialEdges(), b.NumAttrEdges())
+	}
+}
+
+func TestGroupMeanControlsMemberships(t *testing.T) {
+	lo := NewDefaultParams(2000)
+	lo.GroupMean = 1
+	lo.Seed = 4
+	hi := NewDefaultParams(2000)
+	hi.GroupMean = 6
+	hi.Seed = 4
+	glo, ghi := Generate(lo), Generate(hi)
+	if ghi.NumAttrEdges() <= glo.NumAttrEdges() {
+		t.Errorf("GroupMean=6 memberships (%d) should exceed GroupMean=1 (%d)",
+			ghi.NumAttrEdges(), glo.NumAttrEdges())
+	}
+}
