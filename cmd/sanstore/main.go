@@ -1,0 +1,178 @@
+// Command sanstore packs, inspects and extracts binary SAN snapshot
+// timelines (the snapstore format).
+//
+// Usage:
+//
+//	sanstore pack -out gplus.tl [-scale 400] [-days 98] [-seed 42] [-observed]
+//	sanstore ls gplus.tl
+//	sanstore stat gplus.tl [-day 98]
+//	sanstore extract gplus.tl -day 49 [-out day49.san]
+//
+// pack runs the gplus reference simulation and writes every daily
+// snapshot as one delta-encoded timeline file; ls lists the per-day
+// records; stat reconstructs one day and prints its headline metrics;
+// extract writes one reconstructed day in the san text format.  Days
+// are 1-based, matching the simulation calendar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gplus"
+	"repro/internal/san"
+	"repro/internal/snapstore"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "pack":
+		err = runPack(os.Args[2:])
+	case "ls":
+		err = runLs(os.Args[2:])
+	case "stat":
+		err = runStat(os.Args[2:])
+	case "extract":
+		err = runExtract(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sanstore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sanstore pack -out FILE [-scale N] [-days N] [-seed N] [-observed]
+  sanstore ls FILE
+  sanstore stat FILE [-day N]
+  sanstore extract FILE -day N [-out FILE]`)
+	os.Exit(2)
+}
+
+func runPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	out := fs.String("out", "", "output timeline file (required)")
+	scale := fs.Int("scale", 400, "gplus DailyBase arrival scale")
+	days := fs.Int("days", 98, "number of simulated days")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	observed := fs.Bool("observed", false, "pack the crawl view (declared attribute links only) instead of the full SAN")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("pack: -out is required")
+	}
+	cfg := gplus.DefaultConfig()
+	cfg.DailyBase = *scale
+	cfg.Days = *days
+	cfg.Seed = *seed
+	tl, err := gplus.PackTimeline(cfg, *observed)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("packed %d days, %d bytes (%.1f bytes/day after day 0) -> %s\n",
+		tl.NumDays(), tl.Size(),
+		float64(tl.Size()-tl.DaySize(0))/float64(max(tl.NumDays()-1, 1)), *out)
+	return nil
+}
+
+// openTimeline peels the positional FILE argument off args and loads it.
+func openTimeline(name string, args []string) (*snapstore.Timeline, []string, error) {
+	if len(args) == 0 || len(args[0]) == 0 || args[0][0] == '-' {
+		return nil, nil, fmt.Errorf("%s: missing timeline file argument", name)
+	}
+	tl, err := snapstore.LoadFile(args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	return tl, args[1:], nil
+}
+
+func runLs(args []string) error {
+	tl, _, err := openTimeline("ls", args)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %10s %s\n", "day", "bytes", "kind")
+	for i := 0; i < tl.NumDays(); i++ {
+		kind := "delta"
+		if i == 0 {
+			kind = "snapshot"
+		}
+		fmt.Printf("%6d %10d %s\n", i+1, tl.DaySize(i), kind)
+	}
+	fmt.Printf("total  %10d bytes over %d days\n", tl.Size(), tl.NumDays())
+	return nil
+}
+
+func runStat(args []string) error {
+	tl, rest, err := openTimeline("stat", args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	day := fs.Int("day", 0, "1-based day to reconstruct (default: last)")
+	fs.Parse(rest)
+	g, d, err := reconstruct(tl, *day)
+	if err != nil {
+		return err
+	}
+	st := g.Stats()
+	fmt.Printf("day               %d of %d\n", d, tl.NumDays())
+	fmt.Printf("social nodes      %d\n", st.SocialNodes)
+	fmt.Printf("social links      %d\n", st.SocialLinks)
+	fmt.Printf("attribute nodes   %d\n", st.AttrNodes)
+	fmt.Printf("attribute links   %d\n", st.AttrLinks)
+	fmt.Printf("reciprocity       %.4f\n", g.Reciprocity())
+	fmt.Printf("social density    %.3f\n", g.SocialDensity())
+	fmt.Printf("attribute density %.3f\n", g.AttrDensity())
+	return nil
+}
+
+func runExtract(args []string) error {
+	tl, rest, err := openTimeline("extract", args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	day := fs.Int("day", 0, "1-based day to reconstruct (default: last)")
+	out := fs.String("out", "", "output san text file (default stdout)")
+	fs.Parse(rest)
+	g, _, err := reconstruct(tl, *day)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	_, err = g.WriteTo(w)
+	return err
+}
+
+// reconstruct maps the 1-based CLI day (0 meaning "last") onto the
+// timeline and rebuilds that day's SAN.
+func reconstruct(tl *snapstore.Timeline, day int) (*san.SAN, int, error) {
+	if day == 0 {
+		day = tl.NumDays()
+	}
+	if day < 1 || day > tl.NumDays() {
+		return nil, 0, fmt.Errorf("day %d out of range [1,%d]", day, tl.NumDays())
+	}
+	g, err := tl.ReconstructAt(day - 1)
+	return g, day, err
+}

@@ -6,7 +6,10 @@
 //
 // One instrumented simulation run (Dataset) is shared by all of the
 // measurement figures; model-comparison figures generate their own
-// SANs from the core and zhel generators.
+// SANs from the core and zhel generators.  The run is packed into
+// snapstore timelines and every per-day metric is computed from
+// reconstructed snapshots on a worker pool, so the evolution figures
+// read from the storage layer rather than re-simulating.
 package experiments
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/hll"
 	"repro/internal/metrics"
 	"repro/internal/san"
+	"repro/internal/snapstore"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -85,11 +89,17 @@ type DayMetrics struct {
 }
 
 // Dataset is one instrumented simulation run: the "crawled dataset"
-// of this reproduction.
+// of this reproduction.  The simulation is run once to emit packed
+// snapshot timelines (the storage-layer form of the paper's daily
+// crawls); every per-day metric is then computed by mapping over
+// reconstructed snapshots in parallel rather than re-simulating.
 type Dataset struct {
 	Cfg  Config
 	Sim  *gplus.Simulator
 	Days []DayMetrics
+
+	Full *snapstore.Timeline // packed daily full SANs (day d at index d-1)
+	View *snapstore.Timeline // packed daily crawl views
 
 	HalfView  *san.SAN // crawl view at day 49 (the halfway snapshot)
 	FinalView *san.SAN // crawl view at the last day
@@ -122,50 +132,75 @@ func buildDataset(cfg Config) *Dataset {
 	sim := gplus.New(gcfg)
 	ds := &Dataset{Cfg: cfg, Sim: sim, Trace: gcfg.Record}
 
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9b05688c2b3e6c1f))
-	ccSamples := metrics.SampleSize(0.01, 100) // ε=0.01, ν=100 per day
-
-	sim.Run(func(day int, full *san.SAN) {
-		view := sim.CrawlView()
-		m := DayMetrics{
-			Day:           day,
-			Recip:         full.Reciprocity(),
-			SocialDensity: full.SocialDensity(),
-			AttrDensity:   view.AttrDensity(),
-			Assort:        metrics.SocialAssortativity(full),
-			AttrAssort:    metrics.AttrAssortativity(view),
-			CC:            metrics.AverageSocialClustering(full, ccSamples, rng),
-			AttrCC:        metrics.AverageAttrClustering(view, ccSamples, rng),
-			DiamSocial:    math.NaN(),
-			DiamAttr:      math.NaN(),
-		}
-		m.Stats = view.Stats()
-		m.MuOut, m.SigmaOut = stats.LogMoments(metrics.OutDegrees(full))
-		m.MuIn, m.SigmaIn = stats.LogMoments(metrics.InDegrees(full))
-		var pos []int
-		for _, k := range metrics.AttrDegrees(view) {
-			if k > 0 {
-				pos = append(pos, k)
-			}
-		}
-		m.MuAttrDeg, m.SigmaAttrDeg = stats.LogMoments(pos)
-		m.AlphaAttrSocial = stats.FitPowerLawFixedXmin(metrics.AttrSocialDegrees(view), 1).Alpha
-
-		if cfg.DiamEvery > 0 && day%cfg.DiamEvery == 0 && day >= cfg.DiamEvery {
-			nf := hll.HyperANF(full, hll.Options{Precision: cfg.HLLBits, Seed: cfg.Seed})
-			m.DiamSocial = nf.EffectiveDiameter(0.9)
-			m.DiamAttr = attrDiameter(view, rng)
-		}
-
+	// Pass 1: simulate once, emitting the packed snapshot timelines
+	// (this reproduction's equivalent of the 79 daily crawl files).
+	full, view, err := sim.RunTimelines(func(day int, _, view *san.SAN) {
 		if day == 49 {
 			ds.HalfView = view
 		}
 		if day == sim.Cfg.Days {
 			ds.FinalView = view
 		}
-		ds.Days = append(ds.Days, m)
 	})
+	if err != nil {
+		// The simulator's evolution is append-only by construction, so a
+		// packing failure is a programming error, not an input error.
+		panic(fmt.Sprintf("experiments: packing timelines: %v", err))
+	}
+	ds.Full, ds.View = full, view
+
+	// Pass 2: measure every day from reconstructed snapshots on the
+	// snapstore worker pool.  Sampled estimators get a per-day rng so
+	// the measurement of a day does not depend on evaluation order.
+	ds.Days = make([]DayMetrics, sim.Cfg.Days)
+	err = snapstore.MapN(
+		[]*snapstore.Store{snapstore.NewStore(full, 4), snapstore.NewStore(view, 4)},
+		snapstore.AllDays(full), 0,
+		func(i int, gs []*san.SAN) error {
+			ds.Days[i] = measureDay(cfg, i+1, gs[0], gs[1])
+			return nil
+		})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: mapping timelines: %v", err))
+	}
 	return ds
+}
+
+// measureDay computes the full per-day metric record from one day's
+// reconstructed full SAN and crawl view.
+func measureDay(cfg Config, day int, full, view *san.SAN) DayMetrics {
+	rng := rand.New(rand.NewPCG(cfg.Seed^uint64(day)*0x9b05688c2b3e6c1f, uint64(day)))
+	ccSamples := metrics.SampleSize(0.01, 100) // ε=0.01, ν=100 per day
+	m := DayMetrics{
+		Day:           day,
+		Recip:         full.Reciprocity(),
+		SocialDensity: full.SocialDensity(),
+		AttrDensity:   view.AttrDensity(),
+		Assort:        metrics.SocialAssortativity(full),
+		AttrAssort:    metrics.AttrAssortativity(view),
+		CC:            metrics.AverageSocialClustering(full, ccSamples, rng),
+		AttrCC:        metrics.AverageAttrClustering(view, ccSamples, rng),
+		DiamSocial:    math.NaN(),
+		DiamAttr:      math.NaN(),
+	}
+	m.Stats = view.Stats()
+	m.MuOut, m.SigmaOut = stats.LogMoments(metrics.OutDegrees(full))
+	m.MuIn, m.SigmaIn = stats.LogMoments(metrics.InDegrees(full))
+	var pos []int
+	for _, k := range metrics.AttrDegrees(view) {
+		if k > 0 {
+			pos = append(pos, k)
+		}
+	}
+	m.MuAttrDeg, m.SigmaAttrDeg = stats.LogMoments(pos)
+	m.AlphaAttrSocial = stats.FitPowerLawFixedXmin(metrics.AttrSocialDegrees(view), 1).Alpha
+
+	if cfg.DiamEvery > 0 && day%cfg.DiamEvery == 0 && day >= cfg.DiamEvery {
+		nf := hll.HyperANF(full, hll.Options{Precision: cfg.HLLBits, Seed: cfg.Seed})
+		m.DiamSocial = nf.EffectiveDiameter(0.9)
+		m.DiamAttr = attrDiameter(view, rng)
+	}
+	return m
 }
 
 // attrDiameter estimates the effective attribute diameter by sampling

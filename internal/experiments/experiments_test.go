@@ -57,6 +57,33 @@ func TestDatasetCached(t *testing.T) {
 	}
 }
 
+func TestDatasetTimelinesBackMetrics(t *testing.T) {
+	d := GetDataset(qc())
+	if d.Full == nil || d.View == nil {
+		t.Fatal("dataset must retain its packed timelines")
+	}
+	if d.Full.NumDays() != d.Sim.Cfg.Days || d.View.NumDays() != d.Sim.Cfg.Days {
+		t.Fatalf("timelines hold %d/%d days, want %d", d.Full.NumDays(), d.View.NumDays(), d.Sim.Cfg.Days)
+	}
+	// The recorded metrics must be reproducible from the store: the
+	// final day's stats come from the reconstructed crawl view.
+	last := d.Days[len(d.Days)-1]
+	view, err := d.View.ReconstructAt(d.View.NumDays() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Stats() != last.Stats {
+		t.Errorf("reconstructed final-day stats %+v disagree with recorded metrics %+v", view.Stats(), last.Stats)
+	}
+	full, err := d.Full.ReconstructAt(d.Full.NumDays() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Reciprocity(); got != last.Recip {
+		t.Errorf("reconstructed final-day reciprocity %v, recorded %v", got, last.Recip)
+	}
+}
+
 func TestGrowthMonotone(t *testing.T) {
 	fig := Fig2(qc())
 	for _, s := range fig.Series {

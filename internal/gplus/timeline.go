@@ -1,0 +1,58 @@
+package gplus
+
+import (
+	"repro/internal/san"
+	"repro/internal/snapstore"
+)
+
+// RunTimelines simulates all configured days and packs each day's end
+// state into snapstore timelines — the storage-layer analogue of the
+// paper's 79 daily crawl snapshots.  Two timelines are emitted in
+// lockstep: the full hidden-attribute SAN and the crawl view (declared
+// attribute links only), both indexed so timeline day d-1 is simulated
+// day d.  perDay (optional) observes each day's full SAN and crawl
+// view as they are packed; the views passed to it are fresh and may be
+// retained.
+//
+// The simulation's evolution is append-only (nodes and links are only
+// ever added), which is what lets every day after the first pack as a
+// forward delta instead of a full snapshot.
+func (s *Simulator) RunTimelines(perDay func(day int, full, view *san.SAN)) (full, view *snapstore.Timeline, err error) {
+	fb, vb := snapstore.NewBuilder(), snapstore.NewBuilder()
+	var buildErr error
+	s.Run(func(day int, g *san.SAN) {
+		if buildErr != nil {
+			return
+		}
+		v := s.CrawlView()
+		if err := fb.Append(g); err != nil {
+			buildErr = err
+			return
+		}
+		if err := vb.Append(v); err != nil {
+			buildErr = err
+			return
+		}
+		if perDay != nil {
+			perDay(day, g, v)
+		}
+	})
+	if buildErr != nil {
+		return nil, nil, buildErr
+	}
+	return fb.Timeline(), vb.Timeline(), nil
+}
+
+// PackTimeline runs a fresh simulation of cfg and returns the packed
+// timeline of either the full SAN or the crawl view.  It is the
+// one-call path used by cmd/sanstore and the benchmarks.
+func PackTimeline(cfg Config, observed bool) (*snapstore.Timeline, error) {
+	full, view, err := New(cfg).RunTimelines(nil)
+	if err != nil {
+		return nil, err
+	}
+	if observed {
+		return view, nil
+	}
+	return full, nil
+}

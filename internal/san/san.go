@@ -42,6 +42,10 @@ const (
 // the order used by per-type experiments (Figure 13b).
 var AttrTypes = []AttrType{City, School, Major, Employer}
 
+// ValidAttrType reports whether t is one of the defined attribute
+// types.  Decoders use it to reject corrupt serialized type bytes.
+func ValidAttrType(t AttrType) bool { return t < numAttrTypes }
+
 // String returns the human-readable name of the attribute type.
 func (t AttrType) String() string {
 	switch t {

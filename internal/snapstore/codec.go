@@ -1,0 +1,167 @@
+package snapstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/san"
+)
+
+// reader decodes a varint-packed record with a sticky error: after the
+// first failure every accessor returns a zero value, so decode loops
+// can defer error handling to a single check.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapstore: offset %d: %s", r.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated record")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated or overlong varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads an element count and rejects values that cannot fit in
+// the remaining bytes (every encoded element takes at least min bytes),
+// so corrupt input cannot trigger huge allocations.
+func (r *reader) count(min int, what string) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64((len(r.buf)-r.off)/min+1) {
+		r.fail("implausible %s count %d", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("truncated record (want %d bytes, have %d)", n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// finish reports the sticky error, or complains about trailing bytes.
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("snapstore: %d trailing bytes after record", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// id constrains the two dense SAN identifier types.
+type id interface{ ~int32 }
+
+// appendIDList delta-encodes a strictly increasing identifier list:
+// the length, the first value raw, then successive differences (all
+// positive, so they pack into short varints for dense lists).  The
+// input must already be sorted and duplicate-free.
+func appendIDList[T id](buf []byte, s []T) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	prev := int64(0)
+	for i, v := range s {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(int64(v)-prev))
+		}
+		prev = int64(v)
+	}
+	return buf
+}
+
+// readIDList decodes a delta-encoded identifier list into dst,
+// verifying strict monotonicity and the [0, max) range.
+func readIDList[T id](r *reader, max int, what string) []T {
+	n := r.count(1, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	dst := make([]T, 0, n)
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		d := r.uvarint()
+		var v int64
+		if i == 0 {
+			v = int64(d)
+		} else {
+			if d == 0 {
+				r.fail("duplicate %s in sorted list", what)
+				return nil
+			}
+			v = prev + int64(d)
+		}
+		if v < 0 || v >= int64(max) {
+			r.fail("%s %d out of range [0,%d)", what, v, max)
+			return nil
+		}
+		dst = append(dst, T(v))
+		prev = v
+	}
+	return dst
+}
+
+func sortedCopy[T id](s []T) []T {
+	c := append([]T(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+// attrCatalogEntry appends one attribute-catalog record: type byte,
+// name length, name bytes.
+func appendAttrEntry(buf []byte, t san.AttrType, name string) []byte {
+	buf = append(buf, byte(t))
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	return append(buf, name...)
+}
+
+// readAttrEntry decodes one attribute-catalog record.
+func readAttrEntry(r *reader) (san.AttrType, string) {
+	t := san.AttrType(r.byte())
+	if r.err == nil && !san.ValidAttrType(t) {
+		r.fail("invalid attribute type %d", t)
+		return 0, ""
+	}
+	n := r.count(1, "attribute name byte")
+	name := r.bytes(n)
+	return t, string(name)
+}

@@ -1,0 +1,166 @@
+package snapstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/san"
+)
+
+// A delta record encodes one day of append-only evolution:
+//
+//	'D'
+//	uvarint newSocialNodes
+//	uvarint newAttrNodes, then per attribute: type byte, name len, name
+//	uvarint socialGroups, then per group (ascending u):
+//	    uvarint u (first raw, then difference from previous group)
+//	    delta-varint sorted list of new out-neighbors of u
+//	uvarint attrGroups, same layout with attribute IDs
+//
+// Groups cover only nodes that gained links that day, so quiet days
+// cost a few bytes.
+
+// group is one node's new links, collected before encoding.
+type group[T id] struct {
+	u    san.NodeID
+	vals []T
+}
+
+func appendGroups[T id](buf []byte, gs []group[T]) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(gs)))
+	prev := int64(0)
+	for i, gr := range gs {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, uint64(gr.u))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(int64(gr.u)-prev))
+		}
+		prev = int64(gr.u)
+		buf = appendIDList(buf, sortedCopy(gr.vals))
+	}
+	return buf
+}
+
+// applyGroups decodes group records, handing each (u, val) pair to add,
+// which reports whether the link was structurally valid and new.
+func applyGroups[T id](r *reader, numSocial, max int, what string, add func(u san.NodeID, v T) bool) error {
+	n := r.count(2, what+" group")
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		d := r.uvarint()
+		var u int64
+		if i == 0 {
+			u = int64(d)
+		} else {
+			if d == 0 {
+				r.fail("duplicate %s group", what)
+				return r.err
+			}
+			u = prev + int64(d)
+		}
+		if u < 0 || u >= int64(numSocial) {
+			r.fail("%s group node %d out of range [0,%d)", what, u, numSocial)
+			return r.err
+		}
+		prev = u
+		vals := readIDList[T](r, max, what)
+		if r.err != nil {
+			return r.err
+		}
+		if len(vals) == 0 {
+			r.fail("empty %s group for node %d", what, u)
+			return r.err
+		}
+		for _, v := range vals {
+			if !add(san.NodeID(u), v) {
+				return fmt.Errorf("snapstore: invalid %s link (%d,%d)", what, u, v)
+			}
+		}
+	}
+	return r.err
+}
+
+// encodeDelta builds a delta record from the per-node link counts the
+// Builder tracked for the previous day.  next must be an append-only
+// extension of that state; a shrinking list reports an error.
+func encodeDelta(next *san.SAN, prevSocial, prevAttrs int, prevOutDeg, prevAttrDeg []int32) ([]byte, error) {
+	n, na := next.NumSocial(), next.NumAttrs()
+	if n < prevSocial || na < prevAttrs {
+		return nil, fmt.Errorf("snapstore: timeline is not append-only (social %d→%d, attrs %d→%d)",
+			prevSocial, n, prevAttrs, na)
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, tagDelta)
+	buf = binary.AppendUvarint(buf, uint64(n-prevSocial))
+	buf = binary.AppendUvarint(buf, uint64(na-prevAttrs))
+	for a := prevAttrs; a < na; a++ {
+		buf = appendAttrEntry(buf, next.AttrTypeOf(san.AttrID(a)), next.AttrName(san.AttrID(a)))
+	}
+	socialGroups, err := newLinkGroups(n, prevSocial, prevOutDeg, func(u san.NodeID) []san.NodeID { return next.Out(u) })
+	if err != nil {
+		return nil, err
+	}
+	attrGroups, err := newLinkGroups(n, prevSocial, prevAttrDeg, func(u san.NodeID) []san.AttrID { return next.Attrs(u) })
+	if err != nil {
+		return nil, err
+	}
+	buf = appendGroups(buf, socialGroups)
+	buf = appendGroups(buf, attrGroups)
+	return buf, nil
+}
+
+// newLinkGroups collects, per node, the links appended since the
+// previous day (adjacency lists only ever grow, so the new links are
+// exactly the suffix past the previous day's degree).
+func newLinkGroups[T id](n, prevSocial int, prevDeg []int32, adj func(san.NodeID) []T) ([]group[T], error) {
+	var gs []group[T]
+	for u := 0; u < n; u++ {
+		old := 0
+		if u < prevSocial {
+			old = int(prevDeg[u])
+		}
+		list := adj(san.NodeID(u))
+		if len(list) < old {
+			return nil, fmt.Errorf("snapstore: timeline is not append-only (node %d adjacency shrank %d→%d)",
+				u, old, len(list))
+		}
+		if len(list) > old {
+			gs = append(gs, group[T]{u: san.NodeID(u), vals: list[old:]})
+		}
+	}
+	return gs, nil
+}
+
+// ApplyDelta advances g in place by one delta record.
+func ApplyDelta(g *san.SAN, rec []byte) error {
+	r := &reader{buf: rec}
+	if tag := r.byte(); r.err == nil && tag != tagDelta {
+		return fmt.Errorf("snapstore: not a delta record (tag %q)", tag)
+	}
+	// New nodes are not individually encoded, so the remaining-bytes
+	// bound of reader.count does not apply; keep allocation linear in
+	// the record size anyway (generous: real deltas spend several bytes
+	// of link data per arriving node) so a corrupt count cannot force a
+	// huge allocation.
+	newSocial := r.uvarint()
+	if maxNew := uint64(64*len(rec) + 1024); newSocial > maxNew ||
+		int64(g.NumSocial())+int64(newSocial) > 1<<31 {
+		return fmt.Errorf("snapstore: implausible social node growth %d", newSocial)
+	}
+	newAttrs := r.count(2, "attribute node")
+	if r.err != nil {
+		return r.err
+	}
+	g.AddSocialNodes(int(newSocial))
+	if err := decodeAttrCatalog(r, g, newAttrs); err != nil {
+		return err
+	}
+	numSocial := g.NumSocial()
+	if err := applyGroups(r, numSocial, numSocial, "social", g.AddSocialEdge); err != nil {
+		return err
+	}
+	if err := applyGroups(r, numSocial, g.NumAttrs(), "attribute", g.AddAttrEdge); err != nil {
+		return err
+	}
+	return r.finish()
+}

@@ -1,0 +1,125 @@
+package snapstore
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+
+	"repro/internal/san"
+)
+
+// MapN evaluates fn over the requested days (0-based, deduplicated,
+// any order) with snapshots from every store reconstructed in
+// lockstep, on a worker pool.  The sorted days are split into
+// contiguous chunks, one per worker: each worker fetches its chunk's
+// first day through the store cache, clones it, and then walks forward
+// by applying deltas incrementally — so mapping D consecutive days
+// costs one reconstruction plus D-1 delta replays per worker, not D
+// reconstructions.
+//
+// fn runs concurrently on different days (never concurrently for one
+// worker's chunk); the snapshots passed to it are reused by the walk
+// and must not be mutated or retained past the call.  workers <= 0
+// means GOMAXPROCS.  The first error (from reconstruction or fn)
+// cancels remaining work and is returned.
+func MapN(stores []*Store, days []int, workers int, fn func(day int, gs []*san.SAN) error) error {
+	if len(stores) == 0 {
+		return fmt.Errorf("snapstore: MapN needs at least one store")
+	}
+	sorted := slices.Clone(days)
+	sort.Ints(sorted)
+	sorted = slices.Compact(sorted)
+	if len(sorted) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sorted) {
+		workers = len(sorted)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   = make(chan struct{})
+	)
+	setErr := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(failed)
+		})
+	}
+	aborted := func() bool {
+		select {
+		case <-failed:
+			return true
+		default:
+			return false
+		}
+	}
+
+	// Near-equal contiguous chunks keep each worker's delta walk short.
+	for w := 0; w < workers; w++ {
+		lo := w * len(sorted) / workers
+		hi := (w + 1) * len(sorted) / workers
+		if lo == hi {
+			continue
+		}
+		chunk := sorted[lo:hi]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gs := make([]*san.SAN, len(stores))
+			cur := chunk[0]
+			for i, st := range stores {
+				g, err := st.Snapshot(cur)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				gs[i] = g.Clone()
+			}
+			for _, day := range chunk {
+				if aborted() {
+					return
+				}
+				for d := cur + 1; d <= day; d++ {
+					for i, st := range stores {
+						if err := st.Timeline().ApplyDay(gs[i], d); err != nil {
+							setErr(err)
+							return
+						}
+					}
+				}
+				cur = day
+				if err := fn(day, gs); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map is MapN over a single store.
+func Map(s *Store, days []int, workers int, fn func(day int, g *san.SAN) error) error {
+	return MapN([]*Store{s}, days, workers, func(day int, gs []*san.SAN) error {
+		return fn(day, gs[0])
+	})
+}
+
+// AllDays returns the full day range [0, tl.NumDays()) for mapping an
+// entire timeline.
+func AllDays(tl *Timeline) []int {
+	days := make([]int, tl.NumDays())
+	for i := range days {
+		days[i] = i
+	}
+	return days
+}

@@ -1,0 +1,145 @@
+package snapstore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/san"
+)
+
+// Store serves reconstructed snapshots from a timeline through a
+// bounded LRU cache.  Reconstruction is single-flight: concurrent
+// readers of the same day block on one reconstruction instead of each
+// doing the work, and a cache hit on any earlier day lets the store
+// clone it and replay only the missing deltas.
+//
+// Snapshots returned by Snapshot are shared with the cache and other
+// callers: they must be treated as read-only.  Callers that need to
+// mutate (e.g. to walk deltas privately) must Clone first.
+type Store struct {
+	tl *Timeline
+
+	mu      sync.Mutex
+	max     int
+	entries map[int]*storeEntry
+	lru     *list.List // front = most recently used; values are days
+}
+
+type storeEntry struct {
+	ready chan struct{} // closed once g/err are set
+	g     *san.SAN
+	err   error
+	elem  *list.Element
+}
+
+// NewStore wraps tl with a cache of at most maxEntries reconstructed
+// snapshots (minimum 1).
+func NewStore(tl *Timeline, maxEntries int) *Store {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Store{
+		tl:      tl,
+		max:     maxEntries,
+		entries: make(map[int]*storeEntry),
+		lru:     list.New(),
+	}
+}
+
+// Timeline returns the underlying packed timeline.
+func (s *Store) Timeline() *Timeline { return s.tl }
+
+// Snapshot returns the read-only SAN as of day i (0-based).
+func (s *Store) Snapshot(day int) (*san.SAN, error) {
+	if day < 0 || day >= s.tl.NumDays() {
+		return nil, fmt.Errorf("snapstore: day %d out of range [0,%d)", day, s.tl.NumDays())
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[day]; ok {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		<-e.ready
+		return e.g, e.err
+	}
+	e := &storeEntry{ready: make(chan struct{})}
+	s.entries[day] = e
+	e.elem = s.lru.PushFront(day)
+	// Reuse the nearest already-reconstructed earlier day as the base:
+	// cloning it and replaying the missing deltas beats rebuilding from
+	// day 0.  Only ready entries are considered, so waiting can never
+	// form a cycle.
+	baseDay, base := -1, (*san.SAN)(nil)
+	for d, be := range s.entries {
+		if d < day && d > baseDay {
+			select {
+			case <-be.ready:
+				if be.err == nil {
+					baseDay, base = d, be.g
+				}
+			default:
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	g, err := s.reconstruct(day, baseDay, base)
+
+	s.mu.Lock()
+	e.g, e.err = g, err
+	close(e.ready)
+	if err != nil {
+		// Do not cache failures; later callers may retry (and get the
+		// same deterministic error without holding a cache slot).
+		s.lru.Remove(e.elem)
+		delete(s.entries, day)
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+	return g, err
+}
+
+func (s *Store) reconstruct(day, baseDay int, base *san.SAN) (*san.SAN, error) {
+	if base == nil {
+		return s.tl.ReconstructAt(day)
+	}
+	g := base.Clone()
+	for d := baseDay + 1; d <= day; d++ {
+		if err := s.tl.ApplyDay(g, d); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// evictLocked drops least-recently-used ready entries until the cache
+// fits.  In-flight entries are never evicted.
+func (s *Store) evictLocked() {
+	for s.lru.Len() > s.max {
+		evicted := false
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			day := el.Value.(int)
+			e := s.entries[day]
+			select {
+			case <-e.ready:
+				s.lru.Remove(el)
+				delete(s.entries, day)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return // everything over budget is still in flight
+		}
+	}
+}
+
+// CachedDays reports how many snapshots the cache currently holds
+// (ready or in flight); exposed for tests and inspection tools.
+func (s *Store) CachedDays() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

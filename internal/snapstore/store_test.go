@@ -1,0 +1,196 @@
+package snapstore_test
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gplus"
+	"repro/internal/san"
+	"repro/internal/snapstore"
+)
+
+// testCfg is a small but full-length (98-day) simulation used by the
+// timeline fidelity tests.
+func testCfg() gplus.Config {
+	cfg := gplus.DefaultConfig()
+	cfg.DailyBase = 30
+	return cfg
+}
+
+// TestGplusTimelineRoundTrip is the acceptance check for the storage
+// layer: over a full 98-day gplus run, every day's reconstructed SAN
+// (full network and crawl view) equals the simulator's snapshot.
+func TestGplusTimelineRoundTrip(t *testing.T) {
+	sim := gplus.New(testCfg())
+	var fullDays, viewDays []*san.SAN
+	full, view, err := sim.RunTimelines(func(day int, f, v *san.SAN) {
+		fullDays = append(fullDays, f.Clone())
+		viewDays = append(viewDays, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumDays() != sim.Cfg.Days || view.NumDays() != sim.Cfg.Days {
+		t.Fatalf("timeline has %d/%d days, want %d", full.NumDays(), view.NumDays(), sim.Cfg.Days)
+	}
+
+	// Serialize and reload the full timeline: reconstruction must
+	// survive the file format, not just the in-memory container.
+	var buf bytes.Buffer
+	if _, err := full.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := snapstore.ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for day := 0; day < sim.Cfg.Days; day++ {
+		got, err := reloaded.ReconstructAt(day)
+		if err != nil {
+			t.Fatalf("full day %d: %v", day+1, err)
+		}
+		if err := snapstore.SameSAN(fullDays[day], got); err != nil {
+			t.Fatalf("full day %d: %v", day+1, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("full day %d: reconstructed SAN invalid: %v", day+1, err)
+		}
+		gotView, err := view.ReconstructAt(day)
+		if err != nil {
+			t.Fatalf("view day %d: %v", day+1, err)
+		}
+		if err := snapstore.SameSAN(viewDays[day], gotView); err != nil {
+			t.Fatalf("view day %d: %v", day+1, err)
+		}
+	}
+
+	// Structure sharing: the deltas after day 0 must be far smaller
+	// than re-encoding every day as a full snapshot.
+	fullSize := 0
+	for day := 0; day < full.NumDays(); day++ {
+		fullSize += len(snapstore.EncodeSnapshot(fullDays[day]))
+	}
+	if full.Size() >= fullSize/3 {
+		t.Errorf("delta timeline %d bytes, %d as full snapshots: expected >3x sharing", full.Size(), fullSize)
+	}
+}
+
+// TestStoreCacheAndSingleFlight hammers one store from many
+// goroutines and verifies results are correct, cached, and bounded.
+func TestStoreCacheAndSingleFlight(t *testing.T) {
+	cfg := testCfg()
+	cfg.Days = 30
+	sim := gplus.New(cfg)
+	tl, _, err := sim.RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tl.ReconstructAt(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := snapstore.NewStore(tl, 4)
+	var wg sync.WaitGroup
+	var hits [8]*san.SAN
+	for i := range hits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := st.Snapshot(29)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hits[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range hits {
+		if g == nil {
+			t.Fatalf("worker %d got nil snapshot", i)
+		}
+		if g != hits[0] {
+			t.Error("concurrent readers of one day should share the single-flight result")
+		}
+	}
+	if err := snapstore.SameSAN(want, hits[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk many distinct days: the cache must stay within its bound.
+	for day := 0; day < 30; day++ {
+		if _, err := st.Snapshot(day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := st.CachedDays(); n > 4 {
+		t.Errorf("cache holds %d entries, bound is 4", n)
+	}
+
+	// Out-of-range days error.
+	if _, err := st.Snapshot(-1); err == nil {
+		t.Error("negative day should error")
+	}
+	if _, err := st.Snapshot(30); err == nil {
+		t.Error("day past the end should error")
+	}
+}
+
+// TestMapNCoversAllDaysInLockstep checks the engine visits every
+// requested day exactly once with consistent snapshots across stores.
+func TestMapNCoversAllDaysInLockstep(t *testing.T) {
+	cfg := testCfg()
+	cfg.Days = 25
+	sim := gplus.New(cfg)
+	full, view, err := sim.RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var visited [25]int32
+	err = snapstore.MapN(
+		[]*snapstore.Store{snapstore.NewStore(full, 4), snapstore.NewStore(view, 4)},
+		snapstore.AllDays(full), 4,
+		func(day int, gs []*san.SAN) error {
+			atomic.AddInt32(&visited[day], 1)
+			f, v := gs[0], gs[1]
+			// The crawl view shares the social graph with the full SAN
+			// and can only hide attribute links.
+			if f.NumSocial() != v.NumSocial() || f.NumSocialEdges() != v.NumSocialEdges() {
+				t.Errorf("day %d: view social graph diverges from full", day)
+			}
+			if v.NumAttrEdges() > f.NumAttrEdges() {
+				t.Errorf("day %d: view has more attribute links than the full SAN", day)
+			}
+			want, err := full.ReconstructAt(day)
+			if err != nil {
+				return err
+			}
+			return snapstore.SameSAN(want, f)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for day, n := range visited {
+		if n != 1 {
+			t.Errorf("day %d visited %d times, want 1", day, n)
+		}
+	}
+
+	// Sparse, unordered, duplicated day lists work too.
+	count := int32(0)
+	err = snapstore.Map(snapstore.NewStore(full, 2), []int{20, 3, 3, 11}, 2, func(day int, g *san.SAN) error {
+		atomic.AddInt32(&count, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("sparse map visited %d days, want 3 (deduplicated)", count)
+	}
+}
