@@ -1,0 +1,142 @@
+// Command sanserve serves paper figures and snapshot statistics over
+// HTTP from packed snapstore timelines (see `sanstore pack`).
+//
+// Usage:
+//
+//	sanserve -mount gplus=full.tl,view.tl [-addr :8766] [-cache 256] [-snapcache 8]
+//	sanserve -mount gplus=full.tl -loadgen -fig 2 -c 32 -dur 3s
+//
+// Serving mode mounts each timeline pair and answers
+// /v1/figures/{id}, /v1/timelines, /v1/snapshots/{day}/stats,
+// /healthz and /metrics until SIGINT/SIGTERM, then drains in-flight
+// requests and exits.  Loadgen mode skips the listener entirely: it
+// drives the handler in-process with -c concurrent workers for -dur
+// and prints the cached-request throughput.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sanserve"
+)
+
+// mountFlag accumulates repeated -mount name=full.tl[,view.tl] values.
+type mountFlag struct {
+	name, full, view string
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8766", "listen address")
+		cache     = flag.Int("cache", 256, "figure result cache entries")
+		snapcache = flag.Int("snapcache", 8, "reconstructed snapshots cached per mounted timeline")
+		workers   = flag.Int("workers", 0, "day-sweep worker pool size (0 = GOMAXPROCS)")
+		quick     = flag.Bool("quick", false, "quick experiment config for model figures")
+		seed      = flag.Uint64("seed", 0, "override experiment seed")
+		loadgen   = flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
+		fig       = flag.String("fig", "2", "loadgen: figure ID to request")
+		conc      = flag.Int("c", 32, "loadgen: concurrent workers")
+		dur       = flag.Duration("dur", 3*time.Second, "loadgen: run duration")
+	)
+	var mounts []mountFlag
+	flag.Func("mount", "timeline mount as name=full.tl[,view.tl] (repeatable)", func(v string) error {
+		name, paths, ok := strings.Cut(v, "=")
+		if !ok || name == "" || paths == "" {
+			return fmt.Errorf("want name=full.tl[,view.tl], got %q", v)
+		}
+		full, view, _ := strings.Cut(paths, ",")
+		mounts = append(mounts, mountFlag{name: name, full: full, view: view})
+		return nil
+	})
+	flag.Parse()
+	if len(mounts) == 0 {
+		fmt.Fprintln(os.Stderr, "sanserve: at least one -mount name=full.tl[,view.tl] is required")
+		fmt.Fprintln(os.Stderr, "          (produce timelines with: sanstore pack -out full.tl)")
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Workers = *workers
+
+	srv := sanserve.New(sanserve.Options{
+		Cfg:           cfg,
+		CacheEntries:  *cache,
+		SnapCacheDays: *snapcache,
+	})
+	for _, m := range mounts {
+		if err := srv.MountFiles(m.name, m.full, m.view); err != nil {
+			log.Fatalf("sanserve: %v", err)
+		}
+		log.Printf("mounted %q from %s (view: %s)", m.name, m.full, orSame(m.view))
+	}
+
+	if *loadgen {
+		path := fmt.Sprintf("/v1/figures/%s?timeline=%s", *fig, mounts[0].name)
+		log.Printf("loadgen: warming %s and driving %d workers for %v", path, *conc, *dur)
+		report := sanserve.LoadGen(srv.Handler(), path, *conc, *dur)
+		fmt.Println(report)
+		if report.Errors > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatalf("sanserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining in-flight requests)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sanserve: shutdown: %v", err)
+	}
+	log.Printf("bye")
+}
+
+func orSame(view string) string {
+	if view == "" {
+		return "same file"
+	}
+	return view
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.RequestURI(), time.Since(t0).Round(time.Microsecond))
+	})
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/gplus"
@@ -29,22 +30,31 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	var err error
-	switch os.Args[1] {
-	case "pack":
-		err = runPack(os.Args[2:])
-	case "ls":
-		err = runLs(os.Args[2:])
-	case "stat":
-		err = runStat(os.Args[2:])
-	case "extract":
-		err = runExtract(os.Args[2:])
-	default:
-		usage()
-	}
-	if err != nil {
+	if err := run(os.Args[1], os.Args[2:], os.Stdout); err != nil {
+		if err == errUnknownCommand {
+			usage()
+		}
 		fmt.Fprintln(os.Stderr, "sanstore:", err)
 		os.Exit(1)
+	}
+}
+
+var errUnknownCommand = fmt.Errorf("unknown command")
+
+// run dispatches one subcommand, writing its report to w; main and
+// the end-to-end test share this path.
+func run(cmd string, args []string, w io.Writer) error {
+	switch cmd {
+	case "pack":
+		return runPack(args, w)
+	case "ls":
+		return runLs(args, w)
+	case "stat":
+		return runStat(args, w)
+	case "extract":
+		return runExtract(args, w)
+	default:
+		return errUnknownCommand
 	}
 }
 
@@ -57,7 +67,7 @@ func usage() {
 	os.Exit(2)
 }
 
-func runPack(args []string) error {
+func runPack(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pack", flag.ExitOnError)
 	out := fs.String("out", "", "output timeline file (required)")
 	scale := fs.Int("scale", 400, "gplus DailyBase arrival scale")
@@ -79,7 +89,7 @@ func runPack(args []string) error {
 	if err := tl.WriteFile(*out); err != nil {
 		return err
 	}
-	fmt.Printf("packed %d days, %d bytes (%.1f bytes/day after day 0) -> %s\n",
+	fmt.Fprintf(w, "packed %d days, %d bytes (%.1f bytes/day after day 0) -> %s\n",
 		tl.NumDays(), tl.Size(),
 		float64(tl.Size()-tl.DaySize(0))/float64(max(tl.NumDays()-1, 1)), *out)
 	return nil
@@ -97,24 +107,24 @@ func openTimeline(name string, args []string) (*snapstore.Timeline, []string, er
 	return tl, args[1:], nil
 }
 
-func runLs(args []string) error {
+func runLs(args []string, w io.Writer) error {
 	tl, _, err := openTimeline("ls", args)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%6s %10s %s\n", "day", "bytes", "kind")
+	fmt.Fprintf(w, "%6s %10s %s\n", "day", "bytes", "kind")
 	for i := 0; i < tl.NumDays(); i++ {
 		kind := "delta"
 		if i == 0 {
 			kind = "snapshot"
 		}
-		fmt.Printf("%6d %10d %s\n", i+1, tl.DaySize(i), kind)
+		fmt.Fprintf(w, "%6d %10d %s\n", i+1, tl.DaySize(i), kind)
 	}
-	fmt.Printf("total  %10d bytes over %d days\n", tl.Size(), tl.NumDays())
+	fmt.Fprintf(w, "total  %10d bytes over %d days\n", tl.Size(), tl.NumDays())
 	return nil
 }
 
-func runStat(args []string) error {
+func runStat(args []string, w io.Writer) error {
 	tl, rest, err := openTimeline("stat", args)
 	if err != nil {
 		return err
@@ -127,18 +137,18 @@ func runStat(args []string) error {
 		return err
 	}
 	st := g.Stats()
-	fmt.Printf("day               %d of %d\n", d, tl.NumDays())
-	fmt.Printf("social nodes      %d\n", st.SocialNodes)
-	fmt.Printf("social links      %d\n", st.SocialLinks)
-	fmt.Printf("attribute nodes   %d\n", st.AttrNodes)
-	fmt.Printf("attribute links   %d\n", st.AttrLinks)
-	fmt.Printf("reciprocity       %.4f\n", g.Reciprocity())
-	fmt.Printf("social density    %.3f\n", g.SocialDensity())
-	fmt.Printf("attribute density %.3f\n", g.AttrDensity())
+	fmt.Fprintf(w, "day               %d of %d\n", d, tl.NumDays())
+	fmt.Fprintf(w, "social nodes      %d\n", st.SocialNodes)
+	fmt.Fprintf(w, "social links      %d\n", st.SocialLinks)
+	fmt.Fprintf(w, "attribute nodes   %d\n", st.AttrNodes)
+	fmt.Fprintf(w, "attribute links   %d\n", st.AttrLinks)
+	fmt.Fprintf(w, "reciprocity       %.4f\n", g.Reciprocity())
+	fmt.Fprintf(w, "social density    %.3f\n", g.SocialDensity())
+	fmt.Fprintf(w, "attribute density %.3f\n", g.AttrDensity())
 	return nil
 }
 
-func runExtract(args []string) error {
+func runExtract(args []string, w io.Writer) error {
 	tl, rest, err := openTimeline("extract", args)
 	if err != nil {
 		return err
@@ -151,7 +161,6 @@ func runExtract(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {

@@ -5,5 +5,7 @@
 // The repository-root benchmarks (bench_test.go) regenerate every
 // figure of the paper; the library lives under internal/ (see
 // DESIGN.md for the system inventory) and the runnable entry points
-// under cmd/ and examples/.
+// under cmd/ and examples/.  cmd/sanserve serves every figure over
+// HTTP from packed snapshot timelines; see README.md for the
+// quickstart.
 package repro

@@ -1,0 +1,22 @@
+package experiments_test
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// ExampleRun shows the registry lookup path: figure IDs follow the
+// paper's numbering, and unknown IDs report the known set.
+func ExampleRun() {
+	ids := experiments.IDs()
+	fmt.Println(len(ids), "registered experiments")
+	fmt.Println("first five:", ids[:5])
+
+	_, err := experiments.Run("fig999", experiments.QuickConfig())
+	fmt.Println("unknown ID errors:", err != nil)
+	// Output:
+	// 23 registered experiments
+	// first five: [10 11 12a 12b 13]
+	// unknown ID errors: true
+}

@@ -38,6 +38,7 @@ type Config struct {
 	Seed      uint64
 	DiamEvery int   // compute diameters every k-th day
 	HLLBits   uint8 // HyperANF precision
+	Workers   int   // snapstore MapN workers for day sweeps (0 = GOMAXPROCS)
 }
 
 // DefaultConfig is the full experiment scale (~20k users).
@@ -88,58 +89,139 @@ type DayMetrics struct {
 	DiamAttr   float64 // NaN when not computed this day
 }
 
-// Dataset is one instrumented simulation run: the "crawled dataset"
-// of this reproduction.  The simulation is run once to emit packed
-// snapshot timelines (the storage-layer form of the paper's daily
-// crawls); every per-day metric is then computed by mapping over
-// reconstructed snapshots in parallel rather than re-simulating.
+// Dataset is the "crawled dataset" of this reproduction: per-day
+// metrics plus the halfway and final snapshots every figure driver
+// reads.  A Dataset is a lazy handle — construction is free, and the
+// backing work runs once on first access — with two backends:
+//
+//   - GetDataset runs the instrumented gplus simulation once,
+//     emitting packed snapshot timelines, and measures every day from
+//     reconstructed snapshots (the batch path).
+//   - NewTimelineDataset skips simulation entirely and measures an
+//     injected pair of packed timelines (the serving path: sanserve
+//     mounts .tl files and answers figures without re-simulating).
+//
+// Drivers receive a *Dataset and pull only what they need, so model
+// figures (16-18) never force a dataset build at all.
 type Dataset struct {
-	Cfg  Config
-	Sim  *gplus.Simulator
-	Days []DayMetrics
+	Cfg Config
 
-	Full *snapstore.Timeline // packed daily full SANs (day d at index d-1)
-	View *snapstore.Timeline // packed daily crawl views
+	once     sync.Once
+	build    func(*Dataset)
+	buildErr any // panic value of a failed build, re-raised on every access
 
-	HalfView  *san.SAN // crawl view at day 49 (the halfway snapshot)
-	FinalView *san.SAN // crawl view at the last day
-	Trace     *trace.Trace
+	days      []DayMetrics
+	full      *snapstore.Timeline // packed daily full SANs (day d at index d-1)
+	view      *snapstore.Timeline // packed daily crawl views
+	halfView  *san.SAN            // crawl view at day 49 (the halfway snapshot)
+	finalView *san.SAN            // crawl view at the last day
+	finalFull *san.SAN            // full SAN at the last day
+	sim       *gplus.Simulator    // simulation-backed datasets only
+	tr        *trace.Trace        // simulation-backed datasets only
 }
+
+// force runs the build exactly once.  A panicking build (corrupt
+// timeline day, packing bug) still completes the sync.Once, so the
+// panic value is recorded and re-raised for every later accessor —
+// otherwise subsequent callers would silently read nil fields.
+func (d *Dataset) force() {
+	d.once.Do(func() {
+		defer func() {
+			if v := recover(); v != nil {
+				d.buildErr = v
+				panic(v)
+			}
+		}()
+		d.build(d)
+	})
+	if d.buildErr != nil {
+		panic(d.buildErr)
+	}
+}
+
+// Days returns the per-day metric records (index i is day i+1).
+func (d *Dataset) Days() []DayMetrics { d.force(); return d.days }
+
+// FullTimeline returns the packed timeline of daily full SANs.
+func (d *Dataset) FullTimeline() *snapstore.Timeline { d.force(); return d.full }
+
+// ViewTimeline returns the packed timeline of daily crawl views.
+func (d *Dataset) ViewTimeline() *snapstore.Timeline { d.force(); return d.view }
+
+// HalfView returns the crawl view at the halfway snapshot (day 49, or
+// the middle day of shorter timelines).
+func (d *Dataset) HalfView() *san.SAN { d.force(); return d.halfView }
+
+// FinalView returns the crawl view at the last day.
+func (d *Dataset) FinalView() *san.SAN { d.force(); return d.finalView }
+
+// FinalFull returns the full SAN (hidden attributes included) at the
+// last day.
+func (d *Dataset) FinalFull() *san.SAN { d.force(); return d.finalFull }
+
+// Sim returns the backing simulator, or nil for timeline-backed
+// datasets.
+func (d *Dataset) Sim() *gplus.Simulator { d.force(); return d.sim }
+
+// Trace returns the recorded evolution trace, or nil for
+// timeline-backed datasets (the packed format stores structure, not
+// event provenance; trace-based drivers fall back to a dedicated
+// recording run).
+func (d *Dataset) Trace() *trace.Trace { d.force(); return d.tr }
 
 var (
 	dsMu    sync.Mutex
 	dsCache = map[Config]*Dataset{}
 )
 
-// GetDataset builds (or returns the cached) instrumented run for cfg.
+// GetDataset returns the (cached, lazily built) instrumented
+// simulation run for cfg.
 func GetDataset(cfg Config) *Dataset {
 	dsMu.Lock()
 	defer dsMu.Unlock()
 	if d, ok := dsCache[cfg]; ok {
 		return d
 	}
-	d := buildDataset(cfg)
+	d := &Dataset{Cfg: cfg, build: buildSimDataset}
 	dsCache[cfg] = d
 	return d
 }
 
-func buildDataset(cfg Config) *Dataset {
+// NewTimelineDataset returns a Dataset backed by already-packed
+// timelines instead of a simulation: full is the daily full-SAN
+// timeline and view the daily crawl-view timeline (view may be nil to
+// reuse full for both roles, e.g. when only one .tl file is mounted).
+// The build measures every day by mapping over reconstructed
+// snapshots on the snapstore worker pool; nothing is re-simulated.
+//
+// Accessors panic if a day fails to decode; callers serving untrusted
+// files should validate the timelines once up front (reconstruct the
+// final day) before handing them to drivers.
+func NewTimelineDataset(cfg Config, full, view *snapstore.Timeline) *Dataset {
+	if view == nil {
+		view = full
+	}
+	return &Dataset{Cfg: cfg, build: func(d *Dataset) { buildTimelineDataset(d, full, view) }}
+}
+
+func buildSimDataset(ds *Dataset) {
+	cfg := ds.Cfg
 	gcfg := gplus.DefaultConfig()
 	gcfg.DailyBase = cfg.Scale
 	gcfg.Seed = cfg.Seed
 	gcfg.Record = &trace.Trace{}
 	gcfg.RecordObserved = true
 	sim := gplus.New(gcfg)
-	ds := &Dataset{Cfg: cfg, Sim: sim, Trace: gcfg.Record}
+	ds.sim, ds.tr = sim, gcfg.Record
 
 	// Pass 1: simulate once, emitting the packed snapshot timelines
 	// (this reproduction's equivalent of the 79 daily crawl files).
 	full, view, err := sim.RunTimelines(func(day int, _, view *san.SAN) {
 		if day == 49 {
-			ds.HalfView = view
+			ds.halfView = view
 		}
 		if day == sim.Cfg.Days {
-			ds.FinalView = view
+			ds.finalView = view
 		}
 	})
 	if err != nil {
@@ -147,23 +229,48 @@ func buildDataset(cfg Config) *Dataset {
 		// packing failure is a programming error, not an input error.
 		panic(fmt.Sprintf("experiments: packing timelines: %v", err))
 	}
-	ds.Full, ds.View = full, view
+	ds.full, ds.view = full, view
+	ds.finalFull = sim.G
+	measureTimelines(ds)
+}
 
-	// Pass 2: measure every day from reconstructed snapshots on the
-	// snapstore worker pool.  Sampled estimators get a per-day rng so
-	// the measurement of a day does not depend on evaluation order.
-	ds.Days = make([]DayMetrics, sim.Cfg.Days)
-	err = snapstore.MapN(
-		[]*snapstore.Store{snapstore.NewStore(full, 4), snapstore.NewStore(view, 4)},
-		snapstore.AllDays(full), 0,
+func buildTimelineDataset(ds *Dataset, full, view *snapstore.Timeline) {
+	ds.full, ds.view = full, view
+	last := view.NumDays() - 1
+	half := 48 // 1-based day 49, the paper's halfway crawl
+	if half > last {
+		half = last / 2
+	}
+	var err error
+	if ds.halfView, err = view.ReconstructAt(half); err != nil {
+		panic(fmt.Sprintf("experiments: reconstructing halfway view: %v", err))
+	}
+	if ds.finalView, err = view.ReconstructAt(last); err != nil {
+		panic(fmt.Sprintf("experiments: reconstructing final view: %v", err))
+	}
+	if ds.finalFull, err = full.ReconstructAt(full.NumDays() - 1); err != nil {
+		panic(fmt.Sprintf("experiments: reconstructing final full SAN: %v", err))
+	}
+	measureTimelines(ds)
+}
+
+// measureTimelines fills ds.days by mapping over reconstructed
+// snapshots on the snapstore worker pool.  Sampled estimators get a
+// per-day rng so the measurement of a day does not depend on
+// evaluation order — simulation-backed and timeline-backed datasets
+// therefore measure identically.
+func measureTimelines(ds *Dataset) {
+	ds.days = make([]DayMetrics, ds.full.NumDays())
+	err := snapstore.MapN(
+		[]*snapstore.Store{snapstore.NewStore(ds.full, 4), snapstore.NewStore(ds.view, 4)},
+		snapstore.AllDays(ds.full), ds.Cfg.Workers,
 		func(i int, gs []*san.SAN) error {
-			ds.Days[i] = measureDay(cfg, i+1, gs[0], gs[1])
+			ds.days[i] = measureDay(ds.Cfg, i+1, gs[0], gs[1])
 			return nil
 		})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: mapping timelines: %v", err))
 	}
-	return ds
 }
 
 // measureDay computes the full per-day metric record from one day's
@@ -224,7 +331,7 @@ func attrDiameter(view *san.SAN, rng *rand.Rand) float64 {
 // daySeries extracts one time series from the dataset.
 func (d *Dataset) daySeries(name string, f func(DayMetrics) float64) Series {
 	s := Series{Name: name}
-	for _, m := range d.Days {
+	for _, m := range d.Days() {
 		v := f(m)
 		if math.IsNaN(v) {
 			continue

@@ -49,33 +49,33 @@ func TestDatasetCached(t *testing.T) {
 	if a != b {
 		t.Error("dataset should be cached per config")
 	}
-	if a.HalfView == nil || a.FinalView == nil {
+	if a.HalfView() == nil || a.FinalView() == nil {
 		t.Fatal("dataset must retain halfway and final views")
 	}
-	if len(a.Days) != a.Sim.Cfg.Days {
-		t.Errorf("recorded %d day metrics, want %d", len(a.Days), a.Sim.Cfg.Days)
+	if len(a.Days()) != a.Sim().Cfg.Days {
+		t.Errorf("recorded %d day metrics, want %d", len(a.Days()), a.Sim().Cfg.Days)
 	}
 }
 
 func TestDatasetTimelinesBackMetrics(t *testing.T) {
 	d := GetDataset(qc())
-	if d.Full == nil || d.View == nil {
+	if d.FullTimeline() == nil || d.ViewTimeline() == nil {
 		t.Fatal("dataset must retain its packed timelines")
 	}
-	if d.Full.NumDays() != d.Sim.Cfg.Days || d.View.NumDays() != d.Sim.Cfg.Days {
-		t.Fatalf("timelines hold %d/%d days, want %d", d.Full.NumDays(), d.View.NumDays(), d.Sim.Cfg.Days)
+	if d.FullTimeline().NumDays() != d.Sim().Cfg.Days || d.ViewTimeline().NumDays() != d.Sim().Cfg.Days {
+		t.Fatalf("timelines hold %d/%d days, want %d", d.FullTimeline().NumDays(), d.ViewTimeline().NumDays(), d.Sim().Cfg.Days)
 	}
 	// The recorded metrics must be reproducible from the store: the
 	// final day's stats come from the reconstructed crawl view.
-	last := d.Days[len(d.Days)-1]
-	view, err := d.View.ReconstructAt(d.View.NumDays() - 1)
+	last := d.Days()[len(d.Days())-1]
+	view, err := d.ViewTimeline().ReconstructAt(d.ViewTimeline().NumDays() - 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if view.Stats() != last.Stats {
 		t.Errorf("reconstructed final-day stats %+v disagree with recorded metrics %+v", view.Stats(), last.Stats)
 	}
-	full, err := d.Full.ReconstructAt(d.Full.NumDays() - 1)
+	full, err := d.FullTimeline().ReconstructAt(d.FullTimeline().NumDays() - 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,8 +84,67 @@ func TestDatasetTimelinesBackMetrics(t *testing.T) {
 	}
 }
 
+// eqNaN is float equality treating NaN == NaN (diameters are NaN on
+// days they are not computed).
+func eqNaN(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestTimelineDatasetMatchesSimulation(t *testing.T) {
+	sim := GetDataset(qc())
+	tl := NewTimelineDataset(qc(), sim.FullTimeline(), sim.ViewTimeline())
+	if tl.Sim() != nil || tl.Trace() != nil {
+		t.Error("timeline-backed dataset must not carry a simulator or trace")
+	}
+	simDays, tlDays := sim.Days(), tl.Days()
+	if len(tlDays) != len(simDays) {
+		t.Fatalf("timeline dataset measured %d days, sim dataset %d", len(tlDays), len(simDays))
+	}
+	for i := range simDays {
+		a, b := simDays[i], tlDays[i]
+		// NaN-valued diameters break struct equality; compare them
+		// NaN-aware and the rest exactly.
+		ds, da := eqNaN(a.DiamSocial, b.DiamSocial), eqNaN(a.DiamAttr, b.DiamAttr)
+		a.DiamSocial, a.DiamAttr = 0, 0
+		b.DiamSocial, b.DiamAttr = 0, 0
+		if a != b || !ds || !da {
+			t.Fatalf("day %d metrics diverge:\nsim %+v\ntl  %+v", i+1, simDays[i], tlDays[i])
+		}
+	}
+	if tl.HalfView().Stats() != sim.HalfView().Stats() {
+		t.Errorf("halfway views diverge: %+v vs %+v", tl.HalfView().Stats(), sim.HalfView().Stats())
+	}
+	if tl.FinalFull().Stats() != sim.FinalFull().Stats() {
+		t.Errorf("final full SANs diverge: %+v vs %+v", tl.FinalFull().Stats(), sim.FinalFull().Stats())
+	}
+	// Per-figure dispatch with an injected source must agree with the
+	// simulation path.
+	fromTL, err := RunOn("2", tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSim, err := Run("2", qc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromTL.Series) != len(fromSim.Series) {
+		t.Fatalf("series count diverges: %d vs %d", len(fromTL.Series), len(fromSim.Series))
+	}
+	for i, s := range fromSim.Series {
+		got := fromTL.Series[i]
+		if got.Name != s.Name || len(got.Y) != len(s.Y) {
+			t.Fatalf("series %d diverges: %q/%d vs %q/%d", i, got.Name, len(got.Y), s.Name, len(s.Y))
+		}
+		for j := range s.Y {
+			if got.Y[j] != s.Y[j] {
+				t.Fatalf("series %q Y[%d]: %v vs %v", s.Name, j, got.Y[j], s.Y[j])
+			}
+		}
+	}
+}
+
 func TestGrowthMonotone(t *testing.T) {
-	fig := Fig2(qc())
+	fig := Fig2(GetDataset(qc()))
 	for _, s := range fig.Series {
 		for i := 1; i < len(s.Y); i++ {
 			if s.Y[i] < s.Y[i-1] {
@@ -97,7 +156,7 @@ func TestGrowthMonotone(t *testing.T) {
 }
 
 func TestFig4ReciprocityBand(t *testing.T) {
-	fig := Fig4(qc())
+	fig := Fig4(GetDataset(qc()))
 	var recip Series
 	for _, s := range fig.Series {
 		if s.Name == "reciprocity" {
@@ -117,7 +176,7 @@ func TestFig13ReciprocityAttrEffect(t *testing.T) {
 	// Aggregate per attribute class with link weights (the figure's
 	// per-bin rates are too sparse at quick scale to average fairly).
 	d := GetDataset(qc())
-	buckets := metrics.FineGrainedReciprocity(d.HalfView, d.FinalView, 50)
+	buckets := metrics.FineGrainedReciprocity(d.HalfView(), d.FinalView(), 50)
 	var links, recip [3]int
 	for _, b := range buckets {
 		links[b.CommonAttrs] += b.Links
@@ -142,7 +201,7 @@ func TestFig13ReciprocityAttrEffect(t *testing.T) {
 }
 
 func TestFig15AttributesCarrySignal(t *testing.T) {
-	fig := Fig15(qc())
+	fig := Fig15(GetDataset(qc()))
 	// The attribute term must help somewhere: some LAPA β > 0 cell
 	// beats the β = 0 cell at the same α.  (At laptop scale community
 	// granularity is coarse, so the paper's +6.1% at α=1, β=200
@@ -172,7 +231,7 @@ func TestFig15AttributesCarrySignal(t *testing.T) {
 }
 
 func TestFig16ModelContrast(t *testing.T) {
-	fig := Fig16(qc())
+	fig := Fig16(GetDataset(qc()))
 	var oursLognormal, zhelNotLognormal bool
 	for _, n := range fig.Notes {
 		if strings.HasPrefix(n, "ours-outdeg") && strings.Contains(n, "winner=lognormal") {
@@ -197,7 +256,7 @@ func TestFig16ModelContrast(t *testing.T) {
 }
 
 func TestFig19CurvesMonotone(t *testing.T) {
-	fig := Fig19(qc())
+	fig := Fig19(GetDataset(qc()))
 	for _, s := range fig.Series {
 		if !strings.HasPrefix(s.Name, "sybil-") {
 			continue

@@ -14,21 +14,20 @@ import (
 // (19b) are computed on the simulated Google+ network and on synthetic
 // SANs from our model (fc = 0.1 and fc = 0) and the Zhel baseline,
 // each generated at the same node count.
-func Fig19(cfg Config) Figure {
-	d := GetDataset(cfg)
-	gp := d.FinalView
+func Fig19(d *Dataset) Figure {
+	gp := d.FinalView()
 	n := gp.NumSocial()
 
 	// Comparison models matched to the Google+ node count.
 	build := func(focal float64) *san.SAN {
 		p := core.NewDefaultParams(n - 5)
-		p.Seed = cfg.Seed
+		p.Seed = d.Cfg.Seed
 		p.FocalWeight = focal
 		return core.Generate(p)
 	}
 	mFC := build(0.1)
 	mNo := build(0)
-	zh := getModels(cfg).zhel
+	zh := getModels(d.Cfg).zhel
 
 	// Compromise 0.5%..4% of nodes (the paper compromises 20k-200k of
 	// 10M, i.e. 0.2%-2%; we extend slightly for resolution).
@@ -51,7 +50,7 @@ func Fig19(cfg Config) Figure {
 	f := Figure{ID: "fig19", Title: "Application fidelity: SybilLimit and anonymity"}
 	var gpSybils []float64
 	for _, net := range nets {
-		pts := sybil.Sweep(net.g, counts, w, bound, 0, cfg.Seed)
+		pts := sybil.Sweep(net.g, counts, w, bound, 0, d.Cfg.Seed)
 		s := Series{Name: "sybil-" + net.name}
 		for _, p := range pts {
 			s.X = append(s.X, float64(p.Compromised))
@@ -71,7 +70,7 @@ func Fig19(cfg Config) Figure {
 	}
 
 	ap := anon.DefaultParams()
-	ap.Seed = cfg.Seed
+	ap.Seed = d.Cfg.Seed
 	ap.Trials = 60000
 	for _, net := range nets {
 		pts := anon.Sweep(net.g, counts, ap)

@@ -13,10 +13,9 @@ import (
 // Fig5 regenerates Figure 5: the social out- and indegree
 // distributions of the final snapshot with their discrete-lognormal
 // best fits (and the power-law comparison in the notes).
-func Fig5(cfg Config) Figure {
-	d := GetDataset(cfg)
-	out := metrics.OutDegrees(d.FinalView)
-	in := metrics.InDegrees(d.FinalView)
+func Fig5(d *Dataset) Figure {
+	out := metrics.OutDegrees(d.FinalView())
+	in := metrics.InDegrees(d.FinalView())
 
 	selOut := stats.SelectModel(out)
 	selIn := stats.SelectModel(in)
@@ -51,12 +50,11 @@ func Fig5(cfg Config) Figure {
 
 // Fig7Knn regenerates Figure 7a: the social knn curve (outdegree vs
 // average indegree of linked nodes).
-func Fig7Knn(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig7Knn(d *Dataset) Figure {
 	return Figure{
 		ID:     "fig7a",
 		Title:  "Social joint degree distribution (knn)",
-		Series: []Series{knnSeries("knn", metrics.SocialKnn(d.FinalView))},
+		Series: []Series{knnSeries("knn", metrics.SocialKnn(d.FinalView()))},
 		Notes:  []string{"paper: flat-to-noisy knn, consistent with neutral assortativity"},
 	}
 }
@@ -64,14 +62,13 @@ func Fig7Knn(cfg Config) Figure {
 // Fig9 regenerates Figure 9: clustering coefficient versus node degree
 // for social and attribute nodes (9a), and the original-vs-subsampled
 // attribute validation (9b).
-func Fig9(cfg Config) Figure {
-	d := GetDataset(cfg)
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x1f83d9abfb41bd6b))
+func Fig9(d *Dataset) Figure {
+	rng := rand.New(rand.NewPCG(d.Cfg.Seed, 0x1f83d9abfb41bd6b))
 	const perDegree = 60
 
-	social := metrics.SocialClusteringByDegree(d.FinalView, perDegree, rng)
-	attr := metrics.AttrClusteringByDegree(d.FinalView, perDegree, rng)
-	sub := d.FinalView.Subsample(0.5, rng)
+	social := metrics.SocialClusteringByDegree(d.FinalView(), perDegree, rng)
+	attr := metrics.AttrClusteringByDegree(d.FinalView(), perDegree, rng)
+	sub := d.FinalView().Subsample(0.5, rng)
 	attrSub := metrics.AttrClusteringByDegree(sub, perDegree, rng)
 
 	return Figure{
@@ -91,15 +88,14 @@ func Fig9(cfg Config) Figure {
 
 // Fig10 regenerates Figure 10: attribute degree of social nodes
 // (lognormal) and social degree of attribute nodes (power law).
-func Fig10(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig10(d *Dataset) Figure {
 	var attrDegs []int
-	for _, k := range metrics.AttrDegrees(d.FinalView) {
+	for _, k := range metrics.AttrDegrees(d.FinalView()) {
 		if k > 0 {
 			attrDegs = append(attrDegs, k)
 		}
 	}
-	socialDegs := metrics.AttrSocialDegrees(d.FinalView)
+	socialDegs := metrics.AttrSocialDegrees(d.FinalView())
 
 	selA := stats.SelectModel(attrDegs)
 	plS := stats.FitDiscretePowerLaw(socialDegs, 0)
@@ -131,12 +127,11 @@ func Fig10(cfg Config) Figure {
 }
 
 // Fig12Knn regenerates Figure 12a: the attribute knn curve.
-func Fig12Knn(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig12Knn(d *Dataset) Figure {
 	return Figure{
 		ID:     "fig12a",
 		Title:  "Attribute joint degree distribution (knn)",
-		Series: []Series{knnSeries("attr-knn", metrics.AttrKnn(d.FinalView))},
+		Series: []Series{knnSeries("attr-knn", metrics.AttrKnn(d.FinalView()))},
 		Notes:  []string{"paper: near-flat curve — attribute popularity says little about members' attribute counts"},
 	}
 }
@@ -144,10 +139,9 @@ func Fig12Knn(cfg Config) Figure {
 // Fig13 regenerates Figure 13: fine-grained reciprocity by common
 // social/attribute neighbors (13a) and per-type attribute clustering
 // (13b, reported in the notes).
-func Fig13(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig13(d *Dataset) Figure {
 	const maxCommon = 50
-	buckets := metrics.FineGrainedReciprocity(d.HalfView, d.FinalView, maxCommon)
+	buckets := metrics.FineGrainedReciprocity(d.HalfView(), d.FinalView(), maxCommon)
 	classes := metrics.ReciprocityByAttrClass(buckets, maxCommon, 5)
 
 	names := []string{"0-common-attrs", "1-common-attr", ">=2-common-attrs"}
@@ -164,8 +158,8 @@ func Fig13(cfg Config) Figure {
 		series = append(series, s)
 	}
 
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5be0cd19137e2179))
-	byType := metrics.AverageAttrClusteringByType(d.FinalView, rng)
+	rng := rand.New(rand.NewPCG(d.Cfg.Seed, 0x5be0cd19137e2179))
+	byType := metrics.AverageAttrClusteringByType(d.FinalView(), rng)
 	f := Figure{
 		ID:     "fig13",
 		Title:  "Influence of attributes on reciprocity and clustering",
@@ -182,19 +176,18 @@ func Fig13(cfg Config) Figure {
 
 // Fig14 regenerates Figure 14: outdegree percentiles (25/50/75) for
 // the top Employer and Major attribute values.
-func Fig14(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig14(d *Dataset) Figure {
 	f := Figure{
 		ID:    "fig14",
 		Title: "Outdegree percentiles by Employer and Major value",
 	}
 	for i, name := range []string{"Infosys", "Microsoft", "IBM", "Google",
 		"Finance", "Computer Science", "Political Science", "Economics"} {
-		a, ok := d.FinalView.AttrByName(name)
+		a, ok := d.FinalView().AttrByName(name)
 		if !ok {
 			continue
 		}
-		degs := metrics.OutDegreesWithAttr(d.FinalView, a)
+		degs := metrics.OutDegreesWithAttr(d.FinalView(), a)
 		if len(degs) < 5 {
 			f.Notes = append(f.Notes, fmt.Sprintf("%s: only %d declared members at this scale", name, len(degs)))
 			continue
@@ -216,10 +209,9 @@ func Fig14(cfg Config) Figure {
 // DistanceDistribution regenerates the §3.3 in-text observation: the
 // directed distance distribution ("dominant mode at six; 90% of
 // distances in {5,6,7}" at Google+ scale).
-func DistanceDistribution(cfg Config) Figure {
-	d := GetDataset(cfg)
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0xcbbb9d5dc1059ed8))
-	dists := d.FinalView.SampleDistances(12, rng)
+func DistanceDistribution(d *Dataset) Figure {
+	rng := rand.New(rand.NewPCG(d.Cfg.Seed, 0xcbbb9d5dc1059ed8))
+	dists := d.FinalView().SampleDistances(12, rng)
 	hist := map[int]int{}
 	for _, x := range dists {
 		hist[x]++

@@ -4,8 +4,7 @@ import "fmt"
 
 // Fig2 regenerates Figure 2: growth in the number of social and
 // attribute nodes over the 98-day horizon, with the three phases.
-func Fig2(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig2(d *Dataset) Figure {
 	return Figure{
 		ID:    "fig2",
 		Title: "Growth of social and attribute nodes",
@@ -21,8 +20,7 @@ func Fig2(cfg Config) Figure {
 
 // Fig3 regenerates Figure 3: growth in the number of social and
 // attribute links.
-func Fig3(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig3(d *Dataset) Figure {
 	return Figure{
 		ID:    "fig3",
 		Title: "Growth of social and attribute links",
@@ -39,8 +37,7 @@ func Fig3(cfg Config) Figure {
 // Fig4 regenerates Figure 4: evolution of reciprocity, social density,
 // social+attribute effective diameter, and the average social
 // clustering coefficient.
-func Fig4(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig4(d *Dataset) Figure {
 	return Figure{
 		ID:    "fig4",
 		Title: "Evolution of reciprocity, density, diameter, clustering",
@@ -62,8 +59,7 @@ func Fig4(cfg Config) Figure {
 
 // Fig6 regenerates Figure 6: evolution of the fitted lognormal
 // parameters (μ, σ) of the social outdegree and indegree.
-func Fig6(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig6(d *Dataset) Figure {
 	return Figure{
 		ID:    "fig6",
 		Title: "Evolution of lognormal degree parameters",
@@ -81,8 +77,7 @@ func Fig6(cfg Config) Figure {
 
 // Fig7b regenerates Figure 7b: evolution of the social assortativity
 // coefficient (Figure 7a's knn curve is part of Fig7Knn).
-func Fig7b(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig7b(d *Dataset) Figure {
 	return Figure{
 		ID:    "fig7b",
 		Title: "Evolution of social assortativity",
@@ -97,8 +92,7 @@ func Fig7b(cfg Config) Figure {
 
 // Fig8 regenerates Figure 8: evolution of attribute density and the
 // average attribute clustering coefficient.
-func Fig8(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig8(d *Dataset) Figure {
 	return Figure{
 		ID:    "fig8",
 		Title: "Evolution of attribute density and attribute clustering",
@@ -116,8 +110,7 @@ func Fig8(cfg Config) Figure {
 // Fig11 regenerates Figure 11: evolution of the attribute-degree
 // lognormal parameters and the attribute social-degree power-law
 // exponent.
-func Fig11(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig11(d *Dataset) Figure {
 	return Figure{
 		ID:    "fig11",
 		Title: "Evolution of attribute-degree distribution parameters",
@@ -135,8 +128,7 @@ func Fig11(cfg Config) Figure {
 
 // Fig12b regenerates Figure 12b: evolution of the attribute
 // assortativity coefficient.
-func Fig12b(cfg Config) Figure {
-	d := GetDataset(cfg)
+func Fig12b(d *Dataset) Figure {
 	return Figure{
 		ID:    "fig12b",
 		Title: "Evolution of attribute assortativity",
@@ -151,10 +143,9 @@ func Fig12b(cfg Config) Figure {
 
 // GrowthSummary reports the phase boundary statistics as notes (used
 // by the CLI's overview output).
-func GrowthSummary(cfg Config) Figure {
-	d := GetDataset(cfg)
+func GrowthSummary(d *Dataset) Figure {
 	f := Figure{ID: "summary", Title: "Dataset overview"}
-	last := d.Days[len(d.Days)-1]
+	last := d.Days()[len(d.Days())-1]
 	f.Notes = append(f.Notes,
 		fmt.Sprintf("final: %d social nodes, %d social links, %d attribute nodes, %d attribute links",
 			last.Stats.SocialNodes, last.Stats.SocialLinks, last.Stats.AttrNodes, last.Stats.AttrLinks),

@@ -5,8 +5,11 @@ import (
 	"sort"
 )
 
-// Driver is one experiment entry point.
-type Driver func(Config) Figure
+// Driver is one experiment entry point.  Drivers read from an
+// injected Dataset (simulation- or timeline-backed) and pull only the
+// views they need; drivers that generate their own model SANs touch
+// nothing but the config and never force the dataset build.
+type Driver func(*Dataset) Figure
 
 // Registry maps experiment IDs (as accepted by `sanbench -fig`) to
 // their drivers.  IDs follow the paper's figure numbering; "tc" and
@@ -47,11 +50,19 @@ func IDs() []string {
 	return ids
 }
 
-// Run looks up and executes one experiment.
+// Run looks up and executes one experiment against the cached
+// simulation dataset for cfg.
 func Run(id string, cfg Config) (Figure, error) {
+	return RunOn(id, GetDataset(cfg))
+}
+
+// RunOn looks up and executes one experiment against an explicitly
+// provided dataset — e.g. one built from mounted timelines with
+// NewTimelineDataset, so serving a figure never re-simulates.
+func RunOn(id string, ds *Dataset) (Figure, error) {
 	d, ok := Registry[id]
 	if !ok {
 		return Figure{}, fmt.Errorf("unknown experiment %q (known: %v)", id, IDs())
 	}
-	return d(cfg), nil
+	return d(ds), nil
 }

@@ -1,0 +1,92 @@
+package sanserve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/gplus"
+)
+
+var (
+	benchOnce sync.Once
+	benchSrv  http.Handler
+)
+
+// benchHandler mounts one packed timeline pair and warms the result
+// cache, so the benchmarks measure the cached serving path.
+func benchHandler(b *testing.B) http.Handler {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := gplus.DefaultConfig()
+		cfg.DailyBase = 6
+		cfg.Days = 12
+		cfg.Seed = 7
+		full, err := gplus.PackTimeline(cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		view, err := gplus.PackTimeline(cfg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := New(Options{Cfg: experiments.Config{Scale: 20, ModelT: 400, Seed: 7, DiamEvery: 6, HLLBits: 5}})
+		if err := s.Mount("gplus", full, view); err != nil {
+			b.Fatal(err)
+		}
+		benchSrv = s.Handler()
+	})
+	rec := httptest.NewRecorder()
+	benchSrv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/figures/2", nil))
+	if rec.Code != 200 {
+		b.Fatalf("warm request failed: %d", rec.Code)
+	}
+	return benchSrv
+}
+
+// BenchmarkCachedFigureRequest measures one in-process cached figure
+// request end to end (router, cache lookup, byte copy).
+func BenchmarkCachedFigureRequest(b *testing.B) {
+	h := benchHandler(b)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/figures/2", nil))
+			if rec.Code != 200 {
+				b.Fatal("request failed")
+			}
+		}
+	})
+}
+
+// BenchmarkLoadGenThroughput runs the package's load generator against
+// the cached figure path and reports requests/second — the acceptance
+// number for the serving layer (target: >=10k cached req/s).
+func BenchmarkLoadGenThroughput(b *testing.B) {
+	h := benchHandler(b)
+	for i := 0; i < b.N; i++ {
+		report := LoadGen(h, "/v1/figures/2", 16, 500*time.Millisecond)
+		if report.Errors > 0 {
+			b.Fatalf("loadgen saw %d errors", report.Errors)
+		}
+		b.ReportMetric(report.QPS(), "req/s")
+	}
+}
+
+// BenchmarkSnapshotStats measures one snapshot-stat request through
+// the snapstore LRU (day already cached after the first hit).
+func BenchmarkSnapshotStats(b *testing.B) {
+	h := benchHandler(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshots/12/stats", nil))
+		if rec.Code != 200 {
+			b.Fatal("request failed")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package sanserve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// cacheKey identifies one figure result: which mount, which registry
+// experiment, which day range, and which wire encoding.
+type cacheKey struct {
+	timeline string
+	figure   string
+	lo, hi   int
+	format   string
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once data/err are set
+	data  []byte
+	ctype string
+	err   error
+	elem  *list.Element
+}
+
+// resultCache is a bounded LRU of encoded figure responses with
+// single-flight computation: concurrent requests for one key block on
+// a single compute call instead of each running the driver.  Errors
+// are returned to every waiter but never cached, so a transient
+// failure does not poison the key.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*cacheEntry
+	lru     *list.List // front = most recently used; values are cacheKeys
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:     max,
+		entries: make(map[cacheKey]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// do returns the cached encoding for key, computing it (once) on a
+// miss.  hit reports whether the result came from the cache or an
+// already-in-flight computation.
+func (c *resultCache) do(key cacheKey, compute func() ([]byte, string, error)) (data []byte, ctype string, err error, hit bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return e.data, e.ctype, e.err, true
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	e.elem = c.lru.PushFront(key)
+	c.mu.Unlock()
+
+	// If compute panics (e.g. a decode failure deep in a lazily-built
+	// dataset), waiters must still be released and the entry dropped,
+	// or every later request for this key would block forever.
+	defer func() {
+		if v := recover(); v != nil {
+			c.mu.Lock()
+			e.err = fmt.Errorf("sanserve: figure computation panicked: %v", v)
+			close(e.ready)
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+			c.mu.Unlock()
+			panic(v) // let the handler's recover middleware answer 500
+		}
+	}()
+	e.data, e.ctype, e.err = compute()
+
+	c.mu.Lock()
+	close(e.ready)
+	if e.err != nil {
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+	return e.data, e.ctype, e.err, false
+}
+
+// evictLocked drops least-recently-used ready entries until the cache
+// fits; in-flight entries are never evicted.
+func (c *resultCache) evictLocked() {
+	for c.lru.Len() > c.max {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			key := el.Value.(cacheKey)
+			e := c.entries[key]
+			select {
+			case <-e.ready:
+				c.lru.Remove(el)
+				delete(c.entries, key)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// Len reports the number of cached (or in-flight) results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,103 @@
+package sanserve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadReport summarizes one load-generation run.
+type LoadReport struct {
+	Path        string
+	Concurrency int
+	Requests    int
+	Errors      int // non-2xx responses
+	Duration    time.Duration
+	P50         time.Duration
+	P99         time.Duration
+}
+
+// QPS returns the achieved request throughput.
+func (r LoadReport) QPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Duration.Seconds()
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("loadgen %s: %d requests, %d errors, %d workers, %.1fs -> %.0f req/s (p50 %v, p99 %v)",
+		r.Path, r.Requests, r.Errors, r.Concurrency, r.Duration.Seconds(), r.QPS(), r.P50, r.P99)
+}
+
+// LoadGen drives concurrency workers against one handler path for
+// roughly the given duration and reports throughput.  Requests are
+// dispatched in-process (no sockets), so the number measures the
+// serving stack itself: router, cache, encoding.  The first request
+// is issued alone to warm the result cache, making the report a
+// cached-request throughput figure.
+func LoadGen(h http.Handler, path string, concurrency int, d time.Duration) LoadReport {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	warm := httptest.NewRequest("GET", path, nil)
+	warmRec := httptest.NewRecorder()
+	h.ServeHTTP(warmRec, warm)
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		total     int
+		errors    int
+		latencies []time.Duration
+	)
+	stop := time.Now().Add(d)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n, bad int
+			var lats []time.Duration
+			for time.Now().Before(stop) {
+				req := httptest.NewRequest("GET", path, nil)
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				h.ServeHTTP(rec, req)
+				lats = append(lats, time.Since(t0))
+				n++
+				if rec.Code < 200 || rec.Code >= 300 {
+					bad++
+				}
+			}
+			mu.Lock()
+			total += n
+			errors += bad
+			latencies = append(latencies, lats...)
+			mu.Unlock()
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	return LoadReport{
+		Path:        path,
+		Concurrency: concurrency,
+		Requests:    total,
+		Errors:      errors,
+		Duration:    elapsed,
+		P50:         pct(0.50),
+		P99:         pct(0.99),
+	}
+}

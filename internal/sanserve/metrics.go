@@ -1,0 +1,58 @@
+package sanserve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/snapstore"
+)
+
+// serverMetrics are the service counters exported on /metrics.
+type serverMetrics struct {
+	requests         atomic.Uint64
+	figureRequests   atomic.Uint64
+	figureErrors     atomic.Uint64
+	snapshotRequests atomic.Uint64
+	cacheHits        atomic.Uint64
+	cacheMisses      atomic.Uint64
+	panics           atomic.Uint64
+}
+
+// handleMetrics writes the counters in the Prometheus text exposition
+// format (counters and gauges only; no client library dependency).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	emit := func(name string, v uint64) {
+		fmt.Fprintf(w, "sanserve_%s %d\n", name, v)
+	}
+	emit("requests_total", s.met.requests.Load())
+	emit("figure_requests_total", s.met.figureRequests.Load())
+	emit("figure_errors_total", s.met.figureErrors.Load())
+	emit("snapshot_requests_total", s.met.snapshotRequests.Load())
+	emit("result_cache_hits_total", s.met.cacheHits.Load())
+	emit("result_cache_misses_total", s.met.cacheMisses.Load())
+	emit("panics_total", s.met.panics.Load())
+	emit("result_cache_entries", uint64(s.cache.Len()))
+
+	s.mu.RLock()
+	names := make([]string, 0, len(s.mounts))
+	for name := range s.mounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "sanserve_timelines %d\n", len(names))
+	for _, name := range names {
+		m := s.mounts[name]
+		emitStore := func(label string, st snapstore.StoreStats, cached int) {
+			fmt.Fprintf(w, "sanserve_store_hits_total{timeline=%q,source=%q} %d\n", name, label, st.Hits)
+			fmt.Fprintf(w, "sanserve_store_misses_total{timeline=%q,source=%q} %d\n", name, label, st.Misses)
+			fmt.Fprintf(w, "sanserve_store_evictions_total{timeline=%q,source=%q} %d\n", name, label, st.Evictions)
+			fmt.Fprintf(w, "sanserve_store_cached_days{timeline=%q,source=%q} %d\n", name, label, cached)
+		}
+		emitStore("full", m.fullStore.Stats(), m.fullStore.CachedDays())
+		emitStore("view", m.viewStore.Stats(), m.viewStore.CachedDays())
+	}
+	s.mu.RUnlock()
+}

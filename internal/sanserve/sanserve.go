@@ -1,0 +1,519 @@
+// Package sanserve is the serving layer of the reproduction: an HTTP
+// service that mounts packed snapstore timelines and answers figure
+// and snapshot-statistic queries on demand.
+//
+// Queries never re-simulate.  A mounted timeline is wrapped in an
+// experiments.Dataset built from injected snapshots
+// (experiments.NewTimelineDataset), day reconstruction goes through
+// the snapstore.Store LRU, day-range sweeps run on the snapstore
+// Map/MapN worker pool, and finished figure encodings are kept in a
+// bounded result cache keyed on (timeline, figure, day-range, format)
+// with single-flight de-duplication, so concurrent identical requests
+// compute once and every later repeat is a byte-copy.
+//
+// Endpoints:
+//
+//	GET /healthz                        liveness + mount count
+//	GET /metrics                        Prometheus-style counters
+//	GET /v1/timelines                   list mounted timelines
+//	GET /v1/figures/{id}                run one registry experiment
+//	    ?timeline=NAME                  mount to query (optional with one mount)
+//	    ?day=N | ?days=LO-HI            restrict day-indexed series (1-based)
+//	    ?format=json|gob                response encoding (default json)
+//	GET /v1/snapshots/{day}/stats       headline metrics of one reconstructed day
+//	    ?timeline=NAME&source=full|view
+//	GET /v1/snapshots/stats?days=LO-HI  per-day stats sweep on the worker pool
+package sanserve
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/san"
+	"repro/internal/snapstore"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Cfg supplies the experiment scale parameters (seeds, estimator
+	// precision, model sizes).  Day metrics are measured from the
+	// mounted timelines; Cfg.Scale only affects drivers that generate
+	// their own model SANs (figures 15-19).
+	Cfg experiments.Config
+
+	// CacheEntries bounds the figure result cache (default 256).
+	CacheEntries int
+
+	// SnapCacheDays bounds each mount's snapstore LRU (default 8).
+	SnapCacheDays int
+}
+
+// Server answers figure and snapshot queries for a set of mounted
+// timelines.  Mount before serving, or concurrently — the mount table
+// is lock-protected.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	cache *resultCache
+	met   serverMetrics
+
+	mu     sync.RWMutex
+	mounts map[string]*Mount
+
+	// runFigure dispatches into the experiments registry; tests
+	// override it to count driver invocations.
+	runFigure func(id string, ds *experiments.Dataset) (experiments.Figure, error)
+}
+
+// Mount is one served timeline pair: the full SAN sequence and the
+// crawl view (which may share one timeline for single-file mounts).
+type Mount struct {
+	Name string
+	Full *snapstore.Timeline
+	View *snapstore.Timeline
+
+	ds        *experiments.Dataset
+	fullStore *snapstore.Store
+	viewStore *snapstore.Store
+}
+
+// New returns a Server with no mounts.
+func New(opts Options) *Server {
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 256
+	}
+	if opts.SnapCacheDays <= 0 {
+		opts.SnapCacheDays = 8
+	}
+	s := &Server{
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		cache:     newResultCache(opts.CacheEntries),
+		mounts:    map[string]*Mount{},
+		runFigure: experiments.RunOn,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/timelines", s.handleTimelines)
+	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/snapshots/{day}/stats", s.handleSnapshotStats)
+	s.mux.HandleFunc("GET /v1/snapshots/stats", s.handleStatsSweep)
+	return s
+}
+
+// Mount adds a timeline pair under name.  view may be nil to serve
+// full in both roles.  Both timelines are validated by reconstructing
+// their final day (which decodes every delta), so corrupt files are
+// rejected here instead of failing mid-request.
+func (s *Server) Mount(name string, full, view *snapstore.Timeline) error {
+	if name == "" || strings.ContainsAny(name, " /?&=") {
+		return fmt.Errorf("sanserve: invalid mount name %q", name)
+	}
+	if full == nil || full.NumDays() == 0 {
+		return fmt.Errorf("sanserve: mount %q: empty timeline", name)
+	}
+	if view == nil {
+		view = full
+	}
+	if view.NumDays() != full.NumDays() {
+		return fmt.Errorf("sanserve: mount %q: full has %d days but view has %d",
+			name, full.NumDays(), view.NumDays())
+	}
+	if _, err := full.ReconstructAt(full.NumDays() - 1); err != nil {
+		return fmt.Errorf("sanserve: mount %q: full timeline: %w", name, err)
+	}
+	if view != full {
+		if _, err := view.ReconstructAt(view.NumDays() - 1); err != nil {
+			return fmt.Errorf("sanserve: mount %q: view timeline: %w", name, err)
+		}
+	}
+	m := &Mount{
+		Name:      name,
+		Full:      full,
+		View:      view,
+		ds:        experiments.NewTimelineDataset(s.opts.Cfg, full, view),
+		fullStore: snapstore.NewStore(full, s.opts.SnapCacheDays),
+		viewStore: snapstore.NewStore(view, s.opts.SnapCacheDays),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mounts[name]; ok {
+		return fmt.Errorf("sanserve: mount %q already exists", name)
+	}
+	s.mounts[name] = m
+	return nil
+}
+
+// MountFiles loads and mounts timeline files from disk.
+func (s *Server) MountFiles(name, fullPath, viewPath string) error {
+	full, err := snapstore.LoadFile(fullPath)
+	if err != nil {
+		return fmt.Errorf("sanserve: mount %q: %w", name, err)
+	}
+	var view *snapstore.Timeline
+	if viewPath != "" {
+		if view, err = snapstore.LoadFile(viewPath); err != nil {
+			return fmt.Errorf("sanserve: mount %q: %w", name, err)
+		}
+	}
+	return s.Mount(name, full, view)
+}
+
+// Handler returns the service's HTTP handler: the API mux wrapped
+// with request counting and panic recovery (a decode failure deep in
+// a lazily-built dataset becomes a 500, not a crashed server).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(1)
+		defer func() {
+			if v := recover(); v != nil {
+				s.met.panics.Add(1)
+				httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// mountFor resolves the ?timeline= parameter; with exactly one mount
+// the parameter may be omitted.
+func (s *Server) mountFor(r *http.Request) (*Mount, error) {
+	name := r.URL.Query().Get("timeline")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.mounts) == 1 {
+			for _, m := range s.mounts {
+				return m, nil
+			}
+		}
+		return nil, fmt.Errorf("%d timelines mounted; pass ?timeline=NAME (see /v1/timelines)", len(s.mounts))
+	}
+	m, ok := s.mounts[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown timeline %q (see /v1/timelines)", name)
+	}
+	return m, nil
+}
+
+// parseDayRange interprets ?day=N or ?days=LO-HI (1-based, inclusive)
+// against a timeline of numDays days.  Absent both, the full range is
+// returned.
+func parseDayRange(r *http.Request, numDays int) (lo, hi int, err error) {
+	q := r.URL.Query()
+	lo, hi = 1, numDays
+	switch {
+	case q.Get("day") != "":
+		d, err := strconv.Atoi(q.Get("day"))
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad day %q", q.Get("day"))
+		}
+		lo, hi = d, d
+	case q.Get("days") != "":
+		a, b, ok := strings.Cut(q.Get("days"), "-")
+		if ok {
+			var e1, e2 error
+			lo, e1 = strconv.Atoi(a)
+			hi, e2 = strconv.Atoi(b)
+			ok = e1 == nil && e2 == nil
+		}
+		if !ok {
+			return 0, 0, fmt.Errorf("bad days %q (want LO-HI)", q.Get("days"))
+		}
+	}
+	if lo < 1 || hi > numDays || lo > hi {
+		return 0, 0, fmt.Errorf("day range %d-%d outside timeline [1,%d]", lo, hi, numDays)
+	}
+	return lo, hi, nil
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// --- /healthz and /v1/timelines -----------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.mounts)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{"status": "ok", "timelines": n})
+}
+
+// TimelineInfo describes one mount in /v1/timelines.
+type TimelineInfo struct {
+	Name      string `json:"name"`
+	Days      int    `json:"days"`
+	FullBytes int    `json:"full_bytes"`
+	ViewBytes int    `json:"view_bytes"`
+	SameView  bool   `json:"view_is_full"`
+}
+
+func (s *Server) handleTimelines(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]TimelineInfo, 0, len(s.mounts))
+	for _, m := range s.mounts {
+		infos = append(infos, TimelineInfo{
+			Name:      m.Name,
+			Days:      m.Full.NumDays(),
+			FullBytes: m.Full.Size(),
+			ViewBytes: m.View.Size(),
+			SameView:  m.View == m.Full,
+		})
+	}
+	s.mu.RUnlock()
+	// Stable order for clients and tests.
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, map[string]any{"timelines": infos})
+}
+
+// --- /v1/figures/{id} ---------------------------------------------
+
+// SeriesPayload is one curve of a served figure.
+type SeriesPayload struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// FigureResponse is the wire form of one figure query.
+type FigureResponse struct {
+	Timeline string          `json:"timeline"`
+	Figure   string          `json:"figure"`
+	FromDay  int             `json:"from_day"`
+	ToDay    int             `json:"to_day"`
+	ID       string          `json:"id"`
+	Title    string          `json:"title"`
+	Series   []SeriesPayload `json:"series"`
+	Notes    []string        `json:"notes,omitempty"`
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, err := s.mountFor(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	lo, hi, err := parseDayRange(r, m.Full.NumDays())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// A range spanning the whole timeline is the same query as no
+	// range at all; normalizing here keeps the clipping behavior fully
+	// determined by the cache key (lo, hi).
+	ranged := lo > 1 || hi < m.Full.NumDays()
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "gob" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json or gob)", format))
+		return
+	}
+	s.met.figureRequests.Add(1)
+
+	key := cacheKey{timeline: m.Name, figure: id, lo: lo, hi: hi, format: format}
+	data, ctype, err, hit := s.cache.do(key, func() ([]byte, string, error) {
+		fig, err := s.runFigure(id, m.ds)
+		if err != nil {
+			return nil, "", &statusError{http.StatusNotFound, err.Error()}
+		}
+		resp := FigureResponse{
+			Timeline: m.Name,
+			Figure:   id,
+			FromDay:  lo,
+			ToDay:    hi,
+			ID:       fig.ID,
+			Title:    fig.Title,
+			Notes:    fig.Notes,
+		}
+		for _, series := range fig.Series {
+			p := SeriesPayload{Name: series.Name, X: []float64{}, Y: []float64{}}
+			for i, x := range series.X {
+				// The range filter reads X as a calendar day; it is
+				// only applied when the client asked for a sub-range,
+				// so distribution figures (X = degree) stay whole by
+				// default.
+				if ranged && (x < float64(lo) || x > float64(hi)) {
+					continue
+				}
+				p.X = append(p.X, x)
+				p.Y = append(p.Y, series.Y[i])
+			}
+			resp.Series = append(resp.Series, p)
+		}
+		return encodeFigure(resp, format)
+	})
+	if hit {
+		s.met.cacheHits.Add(1)
+	} else {
+		s.met.cacheMisses.Add(1)
+	}
+	if err != nil {
+		s.met.figureErrors.Add(1)
+		code := http.StatusInternalServerError
+		var se *statusError
+		if ok := asStatusError(err, &se); ok {
+			code = se.code
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(data)
+}
+
+// statusError carries an HTTP status through the cache compute path.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func asStatusError(err error, target **statusError) bool {
+	if se, ok := err.(*statusError); ok {
+		*target = se
+		return true
+	}
+	return false
+}
+
+func encodeFigure(resp FigureResponse, format string) ([]byte, string, error) {
+	if format == "gob" {
+		var buf strings.Builder
+		if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+			return nil, "", err
+		}
+		return []byte(buf.String()), "application/x-gob", nil
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		return nil, "", err
+	}
+	return append(data, '\n'), "application/json", nil
+}
+
+// --- /v1/snapshots ------------------------------------------------
+
+// SnapshotStats is the wire form of one reconstructed day's headline
+// metrics (the HTTP counterpart of `sanstore stat`).
+type SnapshotStats struct {
+	Timeline      string  `json:"timeline"`
+	Day           int     `json:"day"`
+	Source        string  `json:"source"`
+	SocialNodes   int     `json:"social_nodes"`
+	SocialLinks   int     `json:"social_links"`
+	AttrNodes     int     `json:"attr_nodes"`
+	AttrLinks     int     `json:"attr_links"`
+	Reciprocity   float64 `json:"reciprocity"`
+	SocialDensity float64 `json:"social_density"`
+	AttrDensity   float64 `json:"attr_density"`
+}
+
+// snapshotStats flattens one reconstructed day into the wire form.
+func snapshotStats(timeline string, day int, source string, g *san.SAN) SnapshotStats {
+	st := g.Stats()
+	return SnapshotStats{
+		Timeline:      timeline,
+		Day:           day,
+		Source:        source,
+		SocialNodes:   st.SocialNodes,
+		SocialLinks:   st.SocialLinks,
+		AttrNodes:     st.AttrNodes,
+		AttrLinks:     st.AttrLinks,
+		Reciprocity:   g.Reciprocity(),
+		SocialDensity: g.SocialDensity(),
+		AttrDensity:   g.AttrDensity(),
+	}
+}
+
+// sourceStore resolves ?source=full|view (default full).
+func (m *Mount) sourceStore(r *http.Request) (*snapstore.Store, string, error) {
+	switch src := r.URL.Query().Get("source"); src {
+	case "", "full":
+		return m.fullStore, "full", nil
+	case "view":
+		return m.viewStore, "view", nil
+	default:
+		return nil, "", fmt.Errorf("unknown source %q (full or view)", src)
+	}
+}
+
+func (s *Server) handleSnapshotStats(w http.ResponseWriter, r *http.Request) {
+	m, err := s.mountFor(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	day, err := strconv.Atoi(r.PathValue("day"))
+	if err != nil || day < 1 || day > m.Full.NumDays() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("day %q outside timeline [1,%d]", r.PathValue("day"), m.Full.NumDays()))
+		return
+	}
+	store, srcName, err := m.sourceStore(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.met.snapshotRequests.Add(1)
+	g, err := store.Snapshot(day - 1)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, snapshotStats(m.Name, day, srcName, g))
+}
+
+// handleStatsSweep computes per-day stats over a day range on the
+// snapstore worker pool (one reconstruction plus delta replay per
+// worker chunk, not one reconstruction per day).
+func (s *Server) handleStatsSweep(w http.ResponseWriter, r *http.Request) {
+	m, err := s.mountFor(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	lo, hi, err := parseDayRange(r, m.Full.NumDays())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	store, srcName, err := m.sourceStore(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.met.snapshotRequests.Add(1)
+	days := make([]int, 0, hi-lo+1)
+	for d := lo; d <= hi; d++ {
+		days = append(days, d-1)
+	}
+	out := make([]SnapshotStats, len(days))
+	err = snapstore.Map(store, days, s.opts.Cfg.Workers, func(i int, g *san.SAN) error {
+		out[i-(lo-1)] = snapshotStats(m.Name, i+1, srcName, g)
+		return nil
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"stats": out})
+}

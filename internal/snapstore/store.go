@@ -24,6 +24,16 @@ type Store struct {
 	max     int
 	entries map[int]*storeEntry
 	lru     *list.List // front = most recently used; values are days
+	stats   StoreStats
+}
+
+// StoreStats counts cache traffic since the store was created; it is
+// exposed so serving layers (sanserve /metrics) and tests can observe
+// hit rates without instrumenting the store externally.
+type StoreStats struct {
+	Hits      uint64 // Snapshot calls answered from the cache (or an in-flight rebuild)
+	Misses    uint64 // Snapshot calls that started a reconstruction
+	Evictions uint64 // ready entries dropped by the LRU bound
 }
 
 type storeEntry struct {
@@ -57,11 +67,13 @@ func (s *Store) Snapshot(day int) (*san.SAN, error) {
 	}
 	s.mu.Lock()
 	if e, ok := s.entries[day]; ok {
+		s.stats.Hits++
 		s.lru.MoveToFront(e.elem)
 		s.mu.Unlock()
 		<-e.ready
 		return e.g, e.err
 	}
+	s.stats.Misses++
 	e := &storeEntry{ready: make(chan struct{})}
 	s.entries[day] = e
 	e.elem = s.lru.PushFront(day)
@@ -124,6 +136,7 @@ func (s *Store) evictLocked() {
 			case <-e.ready:
 				s.lru.Remove(el)
 				delete(s.entries, day)
+				s.stats.Evictions++
 				evicted = true
 			default:
 				continue
@@ -142,4 +155,11 @@ func (s *Store) CachedDays() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)
+}
+
+// Stats returns a point-in-time copy of the cache counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
