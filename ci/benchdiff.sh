@@ -1,0 +1,89 @@
+#!/bin/sh
+# benchdiff: regression gate for the snapstore/sanserve hot paths.
+#
+# Runs the gated benchmarks (BENCHDIFF_COUNT times each, keeping the
+# fastest run to filter scheduler noise) and compares ns/op against the
+# committed BENCH_baseline.json.  A benchmark more than
+# BENCHDIFF_THRESHOLD percent slower than its baseline fails the gate;
+# new benchmarks missing from the baseline fail too, so the baseline
+# cannot silently rot.
+#
+#   sh ci/benchdiff.sh            compare against BENCH_baseline.json
+#   sh ci/benchdiff.sh -update    rewrite BENCH_baseline.json
+#
+# The committed baseline is recorded on one machine; when CI hardware
+# differs materially, loosen the gate with BENCHDIFF_THRESHOLD instead
+# of re-baselining from a noisy runner.
+set -eu
+
+THRESHOLD=${BENCHDIFF_THRESHOLD:-20}
+COUNT=${BENCHDIFF_COUNT:-5}
+BENCHTIME=${BENCHDIFF_BENCHTIME:-1s}
+BASELINE=BENCH_baseline.json
+
+SNAPSTORE_BENCHES='^(BenchmarkTimelineLoad|BenchmarkTimelineMap)$'
+SANSERVE_BENCHES='^(BenchmarkCachedFigureRequest|BenchmarkCachedCompareRequest|BenchmarkSnapshotStats)$'
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "benchdiff: running hot-path benchmarks ($COUNT x $BENCHTIME each, -cpu 4)"
+go test -run '^$' -bench "$SNAPSTORE_BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 ./internal/snapstore >>"$raw"
+go test -run '^$' -bench "$SANSERVE_BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 ./internal/sanserve >>"$raw"
+
+# Fold the raw `go test -bench` output into "name min_ns" pairs:
+# strip the -cpu suffix and keep the fastest of the repeated runs.
+current=$(awk '/^Benchmark/ && / ns\/op/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  ns = $3
+  if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+}
+END { for (n in best) print n, best[n] }' "$raw" | sort)
+
+if [ -z "$current" ]; then
+  echo "benchdiff: no benchmark output parsed"
+  exit 1
+fi
+
+if [ "${1:-}" = "-update" ]; then
+  {
+    echo '{'
+    echo "$current" | awk 'NR > 1 { printf ",\n" } { printf "  \"%s\": %s", $1, $2 }'
+    printf '\n}\n'
+  } >"$BASELINE"
+  echo "benchdiff: wrote $BASELINE"
+  echo "$current" | awk '{ printf "  %-34s %12.0f ns/op\n", $1, $2 }'
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "benchdiff: missing $BASELINE (create with: sh ci/benchdiff.sh -update)"
+  exit 1
+fi
+
+fail=0
+for name in $(echo "$current" | awk '{ print $1 }'); do
+  now=$(echo "$current" | awk -v n="$name" '$1 == n { print $2 }')
+  base=$(awk -v n="\"$name\"" '$0 ~ n { gsub(/[",:]/, " "); print $2 }' "$BASELINE")
+  if [ -z "$base" ]; then
+    echo "benchdiff: $name has no baseline entry (re-run: sh ci/benchdiff.sh -update)"
+    fail=1
+    continue
+  fi
+  verdict=$(awk -v now="$now" -v base="$base" -v thr="$THRESHOLD" 'BEGIN {
+    delta = (now - base) / base * 100
+    printf "%+.1f%%", delta
+    exit (delta > thr) ? 1 : 0
+  }') && ok=1 || ok=0
+  printf "  %-34s %12.0f ns/op  baseline %12.0f  (%s)\n" "$name" "$now" "$base" "$verdict"
+  if [ "$ok" -eq 0 ]; then
+    echo "benchdiff: $name regressed more than ${THRESHOLD}% over baseline"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "benchdiff: FAILED"
+  exit 1
+fi
+echo "benchdiff: OK (threshold ${THRESHOLD}%)"

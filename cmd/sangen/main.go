@@ -1,16 +1,23 @@
-// Command sangen generates a synthetic Social-Attribute Network and
-// writes it to stdout (or a file) in the san text format.
+// Command sangen generates synthetic Social-Attribute Networks: single
+// SANs in the san text format, or whole scenario-sweep workspaces of
+// packed snapstore timelines.
 //
-// Three generators are available:
-//
-//	-model san    the paper's generative model (LAPA + RR-SAN), §5.3
-//	-model zhel   the directed Zheleva et al. baseline, §6
-//	-model gplus  the three-phase Google+ reference simulation, §2.2
-//
-// Examples:
+// Single-network mode writes one generated SAN to stdout (or a file):
 //
 //	sangen -model san -n 20000 > san.txt
 //	sangen -model gplus -scale 400 -observed -o crawl.txt
+//
+// Three generators are available: -model san (the paper's generative
+// model, LAPA + RR-SAN, §5.3), -model zhel (the directed Zheleva et
+// al. baseline, §6), and -model gplus (the three-phase Google+
+// reference simulation, §2.2).
+//
+// Sweep mode runs named what-if scenarios (see internal/scenario) in
+// parallel and packs each into full + crawl-view timelines under a
+// workspace directory with a manifest, ready for `sanserve -workspace`:
+//
+//	sangen sweep -list
+//	sangen sweep -out ws -scenarios baseline,pa-first-link,subscriber-heavy,social-only -scale 100
 package main
 
 import (
@@ -18,25 +25,103 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"repro/internal/core"
 	"repro/internal/gplus"
 	"repro/internal/san"
+	"repro/internal/scenario"
 	"repro/internal/zhel"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweep(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sangen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runGenerate(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sangen:", err)
+		os.Exit(1)
+	}
+}
+
+// runSweep drives the scenario sweep pipeline: resolve scenarios,
+// simulate them on a worker pool, pack timelines into the workspace,
+// write the manifest, and print the summary table.
+func runSweep(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	out := fs.String("out", "", "workspace output directory (required)")
+	list := fs.Bool("list", false, "list available scenarios and exit")
+	names := fs.String("scenarios", "", "comma-separated scenario names (default: all)")
+	scale := fs.Int("scale", 400, "gplus DailyBase arrival scale")
+	seed := fs.Uint64("seed", 42, "base simulation seed (scenarios may override)")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	if *list {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, name := range scenario.Names() {
+			s, err := scenario.Get(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%s\n", s.Name, s.Title)
+		}
+		return tw.Flush()
+	}
+	if *out == "" {
+		return fmt.Errorf("sweep: -out DIR is required (or -list to see scenarios)")
+	}
+	var selected []string
+	if *names != "" {
+		for _, n := range strings.Split(*names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				selected = append(selected, n)
+			}
+		}
+	}
+	base := gplus.DefaultConfig()
+	base.DailyBase = *scale
+	base.Seed = *seed
+
+	m, err := scenario.Sweep(scenario.Options{
+		Dir:       *out,
+		Scenarios: selected,
+		Base:      base,
+		Workers:   *workers,
+		Progress: func(r scenario.Run) {
+			fmt.Fprintf(w, "packed %-22s %3d days  %7d nodes  %8d links  %7.1f KiB  (%d ms)\n",
+				r.Scenario, r.Days, r.SocialNodes, r.SocialLinks,
+				float64(r.FullBytes+r.ViewBytes)/1024, r.ElapsedMS)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d scenario runs to %s (serve with: sanserve -workspace %s)\n",
+		len(m.Runs), *out, *out)
+	return nil
+}
+
+// runGenerate is the single-network mode: one generator, one SAN, the
+// san text format.
+func runGenerate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sangen", flag.ExitOnError)
 	var (
-		model    = flag.String("model", "san", "generator: san, zhel, or gplus")
-		n        = flag.Int("n", 10000, "node arrivals (san/zhel models)")
-		scale    = flag.Int("scale", 400, "gplus DailyBase arrival scale")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		observed = flag.Bool("observed", false, "gplus: emit the crawl view (declared attributes only)")
-		out      = flag.String("o", "", "output file (default stdout)")
-		beta     = flag.Float64("beta", 200, "san: LAPA attribute weight β")
-		focal    = flag.Float64("fc", 1, "san: focal-closure weight fc")
+		model    = fs.String("model", "san", "generator: san, zhel, or gplus")
+		n        = fs.Int("n", 10000, "node arrivals (san/zhel models)")
+		scale    = fs.Int("scale", 400, "gplus DailyBase arrival scale")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		observed = fs.Bool("observed", false, "gplus: emit the crawl view (declared attributes only)")
+		out      = fs.String("o", "", "output file (default stdout)")
+		beta     = fs.Float64("beta", 200, "san: LAPA attribute weight β")
+		focal    = fs.Float64("fc", 1, "san: focal-closure weight fc")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	var g *san.SAN
 	switch *model {
@@ -45,6 +130,9 @@ func main() {
 		p.Seed = *seed
 		p.Beta = *beta
 		p.FocalWeight = *focal
+		if err := p.Validate(); err != nil {
+			return err
+		}
 		g = core.Generate(p)
 	case "zhel":
 		p := zhel.NewDefaultParams(*n)
@@ -54,6 +142,9 @@ func main() {
 		cfg := gplus.DefaultConfig()
 		cfg.DailyBase = *scale
 		cfg.Seed = *seed
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
 		sim := gplus.New(cfg)
 		sim.Run(nil)
 		if *observed {
@@ -62,24 +153,22 @@ func main() {
 			g = sim.G
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "sangen: unknown model %q\n", *model)
-		os.Exit(2)
+		return fmt.Errorf("unknown model %q", *model)
 	}
 
-	var w io.Writer = os.Stdout
+	var dst io.Writer = w
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sangen:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
-		w = f
+		dst = f
 	}
-	if _, err := g.WriteTo(w); err != nil {
-		fmt.Fprintln(os.Stderr, "sangen:", err)
-		os.Exit(1)
+	if _, err := g.WriteTo(dst); err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "sangen: %d social nodes, %d social links, %d attribute nodes, %d attribute links\n",
 		g.NumSocial(), g.NumSocialEdges(), g.NumAttrs(), g.NumAttrEdges())
+	return nil
 }

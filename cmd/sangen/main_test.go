@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sanserve"
+	"repro/internal/scenario"
+)
+
+// TestSweepList checks the scenario table mode.
+func TestSweepList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSweep([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing scenario %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestSweepRequiresOut(t *testing.T) {
+	if err := runSweep(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("sweep without -out must fail")
+	}
+}
+
+// TestSweepServeCompareEndToEnd is the acceptance path of the scenario
+// engine: `sangen sweep` over four named scenarios produces a
+// workspace, sanserve mounts it, and a single cross-scenario request
+// returns the same figure computed per scenario — with pure cache hits
+// on repeat.
+func TestSweepServeCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"baseline", "pa-first-link", "subscriber-heavy", "social-only"}
+	var buf bytes.Buffer
+	err := runSweep([]string{
+		"-out", dir,
+		"-scenarios", strings.Join(names, ","),
+		"-scale", "3", "-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 4 scenario runs") {
+		t.Fatalf("sweep summary: %s", buf.String())
+	}
+	if _, err := scenario.LoadManifest(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		for _, suffix := range []string{".full.tl", ".view.tl"} {
+			if _, err := os.Stat(filepath.Join(dir, n+suffix)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	srv := sanserve.New(sanserve.Options{
+		Cfg: experiments.Config{Scale: 3, ModelT: 200, Seed: 5, DiamEvery: 30, HLLBits: 5},
+	})
+	if err := srv.MountWorkspace(dir); err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	// The workspace is listed with full sweep provenance.
+	rec := get("/v1/scenarios")
+	if rec.Code != 200 {
+		t.Fatalf("/v1/scenarios: %d %s", rec.Code, rec.Body.String())
+	}
+	var scen struct {
+		Scenarios []sanserve.ScenarioInfo `json:"scenarios"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &scen); err != nil {
+		t.Fatal(err)
+	}
+	if len(scen.Scenarios) != 4 {
+		t.Fatalf("want 4 scenarios, got %+v", scen.Scenarios)
+	}
+	for _, si := range scen.Scenarios {
+		if si.ConfigDigest == "" || si.Seed == nil || si.Days != 98 {
+			t.Errorf("scenario %q: missing provenance: %+v", si.Name, si)
+		}
+	}
+
+	// One cross-scenario request computes the figure per scenario.
+	rec = get("/v1/compare/2")
+	if rec.Code != 200 {
+		t.Fatalf("/v1/compare/2: %d %s", rec.Code, rec.Body.String())
+	}
+	var cmp sanserve.CompareResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &cmp); err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Figure != "2" || len(cmp.Results) != 4 || len(cmp.Scenarios) != 4 {
+		t.Fatalf("compare shape: %+v", cmp)
+	}
+	for i, raw := range cmp.Results {
+		var fig sanserve.FigureResponse
+		if err := json.Unmarshal(raw, &fig); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if fig.Timeline != cmp.Scenarios[i] || fig.ID != "fig2" {
+			t.Fatalf("result %d: %+v", i, fig)
+		}
+		if len(fig.Series) == 0 || len(fig.Series[0].X) != 98 {
+			t.Fatalf("result %d: series shape %+v", i, fig.Series)
+		}
+	}
+
+	// The repeat is answered from the per-scenario result cache: four
+	// hits, no new misses, byte-identical body.
+	repeat := get("/v1/compare/2")
+	if repeat.Body.String() != rec.Body.String() {
+		t.Fatal("repeated comparison served different bytes")
+	}
+	metrics := get("/metrics").Body.String()
+	for _, want := range []string{
+		"sanserve_result_cache_misses_total 4",
+		"sanserve_result_cache_hits_total 4",
+		"sanserve_compare_requests_total 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A single-figure request for one scenario shares the compare
+	// cache keys: another pure hit.
+	if rec := get("/v1/figures/2?timeline=baseline"); rec.Code != 200 {
+		t.Fatalf("figure over workspace mount: %d", rec.Code)
+	}
+	metrics = get("/metrics").Body.String()
+	if !strings.Contains(metrics, "sanserve_result_cache_hits_total 5") {
+		t.Errorf("single-figure request did not hit the compare-warmed cache:\n%s", metrics)
+	}
+}
+
+// TestGenerateModels smoke-tests the single-network mode for each
+// generator at tiny scale.
+func TestGenerateModels(t *testing.T) {
+	for _, args := range [][]string{
+		{"-model", "san", "-n", "50"},
+		{"-model", "zhel", "-n", "50"},
+	} {
+		var buf bytes.Buffer
+		if err := runGenerate(args, &buf); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.HasPrefix(buf.String(), "san 1\n") {
+			t.Fatalf("%v: not a san text file", args)
+		}
+	}
+	if err := runGenerate([]string{"-model", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}

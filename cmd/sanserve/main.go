@@ -4,14 +4,17 @@
 // Usage:
 //
 //	sanserve -mount gplus=full.tl,view.tl [-addr :8766] [-cache 256] [-snapcache 8]
+//	sanserve -workspace ws                      (a `sangen sweep` output directory)
 //	sanserve -mount gplus=full.tl -loadgen -fig 2 -c 32 -dur 3s
 //
 // Serving mode mounts each timeline pair and answers
-// /v1/figures/{id}, /v1/timelines, /v1/snapshots/{day}/stats,
-// /healthz and /metrics until SIGINT/SIGTERM, then drains in-flight
-// requests and exits.  Loadgen mode skips the listener entirely: it
-// drives the handler in-process with -c concurrent workers for -dur
-// and prints the cached-request throughput.
+// /v1/figures/{id}, /v1/compare/{id}, /v1/timelines, /v1/scenarios,
+// /v1/snapshots/{day}/stats, /healthz and /metrics until
+// SIGINT/SIGTERM, then drains in-flight requests and exits.  A
+// -workspace directory mounts every scenario run from its manifest in
+// one flag.  Loadgen mode skips the listener entirely: it drives the
+// handler in-process with -c concurrent workers for -dur and prints
+// the cached-request throughput.
 package main
 
 import (
@@ -39,6 +42,7 @@ type mountFlag struct {
 func main() {
 	var (
 		addr      = flag.String("addr", ":8766", "listen address")
+		workspace = flag.String("workspace", "", "scenario-sweep workspace directory to mount (see `sangen sweep`)")
 		cache     = flag.Int("cache", 256, "figure result cache entries")
 		snapcache = flag.Int("snapcache", 8, "reconstructed snapshots cached per mounted timeline")
 		workers   = flag.Int("workers", 0, "day-sweep worker pool size (0 = GOMAXPROCS)")
@@ -60,9 +64,9 @@ func main() {
 		return nil
 	})
 	flag.Parse()
-	if len(mounts) == 0 {
-		fmt.Fprintln(os.Stderr, "sanserve: at least one -mount name=full.tl[,view.tl] is required")
-		fmt.Fprintln(os.Stderr, "          (produce timelines with: sanstore pack -out full.tl)")
+	if len(mounts) == 0 && *workspace == "" {
+		fmt.Fprintln(os.Stderr, "sanserve: at least one -mount name=full.tl[,view.tl] or -workspace DIR is required")
+		fmt.Fprintln(os.Stderr, "          (produce timelines with: sanstore pack -out full.tl, or a workspace with: sangen sweep)")
 		os.Exit(2)
 	}
 
@@ -80,6 +84,12 @@ func main() {
 		CacheEntries:  *cache,
 		SnapCacheDays: *snapcache,
 	})
+	if *workspace != "" {
+		if err := srv.MountWorkspace(*workspace); err != nil {
+			log.Fatalf("sanserve: %v", err)
+		}
+		log.Printf("mounted scenario workspace %s", *workspace)
+	}
 	for _, m := range mounts {
 		if err := srv.MountFiles(m.name, m.full, m.view); err != nil {
 			log.Fatalf("sanserve: %v", err)
@@ -88,6 +98,9 @@ func main() {
 	}
 
 	if *loadgen {
+		if len(mounts) == 0 {
+			log.Fatalf("sanserve: loadgen needs an explicit -mount")
+		}
 		path := fmt.Sprintf("/v1/figures/%s?timeline=%s", *fig, mounts[0].name)
 		log.Printf("loadgen: warming %s and driving %d workers for %v", path, *conc, *dur)
 		report := sanserve.LoadGen(srv.Handler(), path, *conc, *dur)

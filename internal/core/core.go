@@ -14,6 +14,7 @@ package core
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"strconv"
@@ -94,6 +95,41 @@ func NewDefaultParams(t int) Params {
 		MeanSleep:   10,
 		Seed:        1,
 	}
+}
+
+// Validate checks that the parameters describe a runnable process.
+// Scenario and CLI layers compose overrides over NewDefaultParams;
+// the invariants the generator assumes are enforced here.
+func (p *Params) Validate() error {
+	if p.T < 1 {
+		return fmt.Errorf("core: T must be >= 1, got %d", p.T)
+	}
+	if p.AttrProb < 0 || p.AttrProb > 1 {
+		return fmt.Errorf("core: AttrProb must be in [0,1], got %g", p.AttrProb)
+	}
+	if p.PNewAttr < 0 || p.PNewAttr >= 1 {
+		return fmt.Errorf("core: PNewAttr must be in [0,1), got %g", p.PNewAttr)
+	}
+	if p.Attachment > AttachPAPA {
+		return fmt.Errorf("core: unknown attachment kind %d", p.Attachment)
+	}
+	if p.Closing > CloseRRSAN {
+		return fmt.Errorf("core: unknown closing kind %d", p.Closing)
+	}
+	if p.Alpha < 0 || p.Beta < 0 {
+		return fmt.Errorf("core: attachment exponents must be >= 0, got alpha=%g beta=%g", p.Alpha, p.Beta)
+	}
+	if p.FocalWeight < 0 {
+		return fmt.Errorf("core: FocalWeight must be >= 0, got %g", p.FocalWeight)
+	}
+	if p.SigmaAttr < 0 || p.SigmaLife < 0 {
+		return fmt.Errorf("core: sigma parameters must be >= 0, got SigmaAttr=%g SigmaLife=%g",
+			p.SigmaAttr, p.SigmaLife)
+	}
+	if p.MeanSleep <= 0 {
+		return fmt.Errorf("core: MeanSleep must be > 0, got %g", p.MeanSleep)
+	}
+	return nil
 }
 
 // wakeEvent schedules node U to wake at time T.

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden figure files under testdata/golden/")
+
+// goldenConfig is the pinned scale for figure regression: small enough
+// that the full registry runs in seconds, deterministic because every
+// sampled estimator in the pipeline derives its rng from the config
+// seed (per-day for timeline metrics, per-figure for model SANs), so
+// neither worker count nor evaluation order changes a value.
+func goldenConfig() Config {
+	return Config{Scale: 20, ModelT: 400, Seed: 7, DiamEvery: 6, HLLBits: 5}
+}
+
+// TestGoldenFigures runs every registry figure at the pinned scale and
+// compares the full output — series values and notes — against the
+// committed golden files.  Regenerate after an intentional
+// model/metric change with:
+//
+//	go test ./internal/experiments -run TestGoldenFigures -update
+func TestGoldenFigures(t *testing.T) {
+	ds := GetDataset(goldenConfig())
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			fig, err := RunOn(id, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", id+".json")
+			if *update {
+				data, err := json.MarshalIndent(fig, "", " ")
+				if err != nil {
+					t.Fatalf("figure %s does not marshal (NaN/Inf in series?): %v", id, err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			var want Figure
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			compareFigures(t, want, fig)
+		})
+	}
+}
+
+// compareFigures checks got against the golden want: identical
+// structure and notes, numeric series equal to within a tiny relative
+// tolerance (immaterial last-ulp differences across toolchains must
+// not fail the gate; everything larger is a real output change).
+func compareFigures(t *testing.T, want, got Figure) {
+	t.Helper()
+	if got.ID != want.ID || got.Title != want.Title {
+		t.Errorf("metadata changed: got %q/%q, golden %q/%q", got.ID, got.Title, want.ID, want.Title)
+	}
+	if len(got.Notes) != len(want.Notes) {
+		t.Fatalf("note count changed: got %d, golden %d\ngot: %q", len(got.Notes), len(want.Notes), got.Notes)
+	}
+	for i := range want.Notes {
+		if got.Notes[i] != want.Notes[i] {
+			t.Errorf("note %d changed:\ngot:    %s\ngolden: %s", i, got.Notes[i], want.Notes[i])
+		}
+	}
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("series count changed: got %d, golden %d", len(got.Series), len(want.Series))
+	}
+	for i, ws := range want.Series {
+		gs := got.Series[i]
+		if gs.Name != ws.Name {
+			t.Errorf("series %d renamed: got %q, golden %q", i, gs.Name, ws.Name)
+			continue
+		}
+		if len(gs.X) != len(ws.X) || len(gs.Y) != len(ws.Y) {
+			t.Errorf("series %q resized: got %d/%d points, golden %d/%d",
+				ws.Name, len(gs.X), len(gs.Y), len(ws.X), len(ws.Y))
+			continue
+		}
+		for j := range ws.X {
+			if !closeEnough(gs.X[j], ws.X[j]) || !closeEnough(gs.Y[j], ws.Y[j]) {
+				t.Errorf("series %q point %d changed: got (%g,%g), golden (%g,%g)",
+					ws.Name, j, gs.X[j], gs.Y[j], ws.X[j], ws.Y[j])
+				break
+			}
+		}
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale || diff <= 1e-12
+}

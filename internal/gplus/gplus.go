@@ -93,8 +93,19 @@ type Config struct {
 	// attribute-mass-sensitive experiment (notably Figure 15).
 	MaxAttrFrac float64
 
+	// Attachment selects the first-link building block.  The calibrated
+	// simulator uses LAPA; scenario ablations swap in PA or uniform
+	// attachment (the Figure 18a counterfactual).
+	Attachment core.AttachKind
 	// Alpha and Beta are the LAPA attachment parameters.
 	Alpha, Beta float64
+
+	// DisableClosing turns off triangle closing entirely: every wake-up
+	// falls through to the attachment model.  This is the "what if
+	// Google+ had no shared-circle suggestions" counterfactual; with RR
+	// and RR-SAN both gone, clustering collapses toward the directed
+	// Erdős–Rényi floor.
+	DisableClosing bool
 
 	// Lifetime and sleep parameters (days).
 	MuLife, SigmaLife, MeanSleep float64
@@ -170,6 +181,7 @@ func DefaultConfig() Config {
 		SigmaAttr:         0.9,
 		PNewValue:         0.1,
 		MaxAttrFrac:       0.015,
+		Attachment:        core.AttachLAPA,
 		Alpha:             1,
 		Beta:              200,
 		MuLife:            13,
@@ -280,7 +292,7 @@ func New(cfg Config) *Simulator {
 		Cfg:      cfg,
 		G:        san.New(cfg.DailyBase*40, cfg.DailyBase*8, cfg.DailyBase*400),
 		Rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xbb67ae8584caa73b)),
-		attacher: core.NewAttacher(core.AttachLAPA, cfg.Alpha, cfg.Beta),
+		attacher: core.NewAttacher(cfg.Attachment, cfg.Alpha, cfg.Beta),
 	}
 	s.catalog = newCatalog(s)
 	// Bootstrap: founding social users in a reciprocal clique, all in
@@ -581,6 +593,9 @@ func (s *Simulator) wake(u san.NodeID, t float64) {
 // (weight FocalTypeWeight[type]), then a uniform social neighbor of
 // the intermediate.
 func (s *Simulator) closeTriangle(u san.NodeID) san.NodeID {
+	if s.Cfg.DisableClosing {
+		return -1 // every wake-up falls through to the attachment model
+	}
 	social := s.G.SocialNeighbors(u)
 	attrs := s.G.Attrs(u)
 	ws := float64(len(social))

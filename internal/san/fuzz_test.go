@@ -1,0 +1,46 @@
+package san
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSANText generalizes the text decoder's error handling: arbitrary
+// input either errors or parses into a SAN whose canonical re-encoding
+// is a fixed point (write → read → write is byte-identical).  The
+// decoder must never panic and never allocate unboundedly (the
+// MaxTextSocialNodes header guard exists because this target found the
+// bare `social N` count could demand gigabytes — or a negative slice
+// capacity — before the first record line was read).
+func FuzzSANText(f *testing.F) {
+	f.Add("san 1\nsocial 3\nattr 0 3 Google\ne 0 1\ne 1 0\ne 2 0\na 0 0\na 2 0\n")
+	f.Add("san 1\nsocial 0\n")
+	f.Add("san 1\nsocial 2\ne 0 1\n")
+	f.Add("san 1\nsocial -1\n")
+	f.Add("san 1\nsocial 99999999999\n")
+	f.Add("san 2\nsocial 1\n")
+	f.Add("san 1\nsocial 2\nattr 0 9 x\n")
+	f.Add("san 1\nsocial 2\ne 0 5\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := Read(bytes.NewReader([]byte(text)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted SAN does not serialize: %v", err)
+		}
+		first := buf.Bytes()
+		g2, err := Read(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("canonical text does not re-read: %v", err)
+		}
+		var second bytes.Buffer
+		if _, err := g2.WriteTo(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second.Bytes()) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", first, second.String())
+		}
+	})
+}

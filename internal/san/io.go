@@ -20,8 +20,23 @@ import (
 // The format round-trips everything except adjacency-list ordering
 // (lists are written in canonical sorted order).
 
-// WriteTo serializes the SAN to w in the text format above.
+// MaxTextSocialNodes bounds the social-node count of the text format,
+// enforced symmetrically by Read and WriteTo.  On the read side the
+// count is a bare header integer with no per-node bytes behind it, so
+// without a bound a four-line file could demand a multi-gigabyte
+// allocation.  The text format is the laptop-scale interchange
+// format; packed snapstore timelines, whose decoder bounds every
+// count by the remaining input, are the format for anything larger.
+const MaxTextSocialNodes = 1 << 20
+
+// WriteTo serializes the SAN to w in the text format above.  SANs
+// beyond MaxTextSocialNodes are refused (what WriteTo produces, Read
+// accepts; larger networks belong in packed snapstore timelines).
 func (g *SAN) WriteTo(w io.Writer) (int64, error) {
+	if g.NumSocial() > MaxTextSocialNodes {
+		return 0, fmt.Errorf("san: %d social nodes exceed the text-format bound %d (use a snapstore timeline)",
+			g.NumSocial(), MaxTextSocialNodes)
+	}
 	bw := bufio.NewWriter(w)
 	var n int64
 	count := func(c int, err error) error {
@@ -90,6 +105,9 @@ func Read(r io.Reader) (*SAN, error) {
 	var numSocial int
 	if _, err := fmt.Sscanf(socialLine, "social %d", &numSocial); err != nil {
 		return nil, fmt.Errorf("san: line %d: %v", line, err)
+	}
+	if numSocial < 0 || numSocial > MaxTextSocialNodes {
+		return nil, fmt.Errorf("san: line %d: social count %d outside [0,%d]", line, numSocial, MaxTextSocialNodes)
 	}
 	g := New(numSocial, 0, 0)
 	g.AddSocialNodes(numSocial)

@@ -77,6 +77,28 @@ func BenchmarkLoadGenThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkCachedCompareRequest measures one cross-scenario compare
+// request on the cached path: mount resolution, per-scenario cache
+// hits, and response assembly from the raw cached payloads.
+func BenchmarkCachedCompareRequest(b *testing.B) {
+	h := benchHandler(b)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/compare/2", nil))
+	if rec.Code != 200 {
+		b.Fatalf("warm compare failed: %d", rec.Code)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/compare/2", nil))
+			if rec.Code != 200 {
+				b.Fatal("request failed")
+			}
+		}
+	})
+}
+
 // BenchmarkSnapshotStats measures one snapshot-stat request through
 // the snapstore LRU (day already cached after the first hit).
 func BenchmarkSnapshotStats(b *testing.B) {

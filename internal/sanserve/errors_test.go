@@ -1,0 +1,65 @@
+package sanserve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHandlerErrorBodies is the error-path contract of every handler:
+// each bad request must produce the right status code AND a parseable
+// JSON error body whose message names the problem — clients scripting
+// against the API get diagnostics, not bare status lines.
+func TestHandlerErrorBodies(t *testing.T) {
+	s := newTestServer(t, Options{}) // one mount: "gplus", 12 days
+	h := s.Handler()
+	for _, tc := range []struct {
+		name string
+		path string
+		code int
+		msg  string // required substring of the JSON "error" field
+	}{
+		{"bad figure id", "/v1/figures/nope", 404, `unknown experiment "nope"`},
+		{"unknown timeline", "/v1/figures/2?timeline=ghost", 404, `unknown timeline "ghost"`},
+		{"day range outside timeline", "/v1/figures/2?days=0-99", 400, "outside timeline [1,12]"},
+		{"malformed day range", "/v1/figures/2?days=bogus", 400, `bad days "bogus"`},
+		{"reversed day range", "/v1/figures/2?days=9-3", 400, "outside timeline"},
+		{"malformed single day", "/v1/figures/2?day=x", 400, `bad day "x"`},
+		{"unsupported format", "/v1/figures/2?format=xml", 400, `unknown format "xml"`},
+		{"compare bad figure id", "/v1/compare/nope", 404, `unknown experiment "nope"`},
+		{"compare unknown scenario", "/v1/compare/2?scenarios=gplus,ghost", 404, `unknown scenario "ghost"`},
+		{"compare empty scenario list", "/v1/compare/2?scenarios=,,", 404, "empty scenario list"},
+		{"compare bad day range", "/v1/compare/2?days=0-99", 400, "outside timeline"},
+		{"compare non-json format", "/v1/compare/2?format=gob", 400, "compare supports only json"},
+		{"snapshot day out of range", "/v1/snapshots/99/stats", 400, "outside timeline [1,12]"},
+		{"snapshot malformed day", "/v1/snapshots/abc/stats", 400, `day "abc"`},
+		{"snapshot bad source", "/v1/snapshots/12/stats?source=half", 400, `unknown source "half"`},
+		{"sweep bad day range", "/v1/snapshots/stats?days=5-1", 400, "outside timeline"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := get(t, h, tc.path)
+			if rec.Code != tc.code {
+				t.Fatalf("%s: got %d, want %d (%s)", tc.path, rec.Code, tc.code, rec.Body.String())
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Errorf("%s: error content type %q, want application/json", tc.path, ct)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("%s: error body is not JSON: %v (%s)", tc.path, err, rec.Body.String())
+			}
+			if body.Error == "" {
+				t.Fatalf("%s: empty error message", tc.path)
+			}
+			if !strings.Contains(body.Error, tc.msg) {
+				t.Errorf("%s: error %q does not mention %q", tc.path, body.Error, tc.msg)
+			}
+		})
+	}
+	// None of the failures may have occupied a result-cache slot.
+	if n := s.cache.Len(); n != 0 {
+		t.Errorf("error responses occupy %d cache slots", n)
+	}
+}

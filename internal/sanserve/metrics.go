@@ -14,6 +14,7 @@ type serverMetrics struct {
 	requests         atomic.Uint64
 	figureRequests   atomic.Uint64
 	figureErrors     atomic.Uint64
+	compareRequests  atomic.Uint64
 	snapshotRequests atomic.Uint64
 	cacheHits        atomic.Uint64
 	cacheMisses      atomic.Uint64
@@ -30,6 +31,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("requests_total", s.met.requests.Load())
 	emit("figure_requests_total", s.met.figureRequests.Load())
 	emit("figure_errors_total", s.met.figureErrors.Load())
+	emit("compare_requests_total", s.met.compareRequests.Load())
 	emit("snapshot_requests_total", s.met.snapshotRequests.Load())
 	emit("result_cache_hits_total", s.met.cacheHits.Load())
 	emit("result_cache_misses_total", s.met.cacheMisses.Load())

@@ -16,13 +16,21 @@
 //	GET /healthz                        liveness + mount count
 //	GET /metrics                        Prometheus-style counters
 //	GET /v1/timelines                   list mounted timelines
+//	GET /v1/scenarios                   list mounts with sweep provenance (manifest)
 //	GET /v1/figures/{id}                run one registry experiment
 //	    ?timeline=NAME                  mount to query (optional with one mount)
 //	    ?day=N | ?days=LO-HI            restrict day-indexed series (1-based)
 //	    ?format=json|gob                response encoding (default json)
+//	GET /v1/compare/{id}                one figure across several scenarios
+//	    ?scenarios=A,B,C                mounts to compare (default: all)
 //	GET /v1/snapshots/{day}/stats       headline metrics of one reconstructed day
 //	    ?timeline=NAME&source=full|view
 //	GET /v1/snapshots/stats?days=LO-HI  per-day stats sweep on the worker pool
+//
+// A scenario-sweep workspace (see internal/scenario and `sangen
+// sweep`) mounts in one call: MountWorkspace reads the manifest and
+// mounts every run under its scenario name, so a single service
+// instance answers baseline and counterfactual queries side by side.
 package sanserve
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/san"
+	"repro/internal/scenario"
 	"repro/internal/snapstore"
 )
 
@@ -79,6 +88,10 @@ type Mount struct {
 	Full *snapstore.Timeline
 	View *snapstore.Timeline
 
+	// Run carries sweep provenance (seed, config digest, pack stats)
+	// for mounts loaded from a scenario workspace; nil otherwise.
+	Run *scenario.Run
+
 	ds        *experiments.Dataset
 	fullStore *snapstore.Store
 	viewStore *snapstore.Store
@@ -102,7 +115,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/timelines", s.handleTimelines)
+	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/compare/{id}", s.handleCompare)
 	s.mux.HandleFunc("GET /v1/snapshots/{day}/stats", s.handleSnapshotStats)
 	s.mux.HandleFunc("GET /v1/snapshots/stats", s.handleStatsSweep)
 	return s
@@ -113,6 +128,10 @@ func New(opts Options) *Server {
 // their final day (which decodes every delta), so corrupt files are
 // rejected here instead of failing mid-request.
 func (s *Server) Mount(name string, full, view *snapstore.Timeline) error {
+	return s.mount(name, full, view, nil)
+}
+
+func (s *Server) mount(name string, full, view *snapstore.Timeline, run *scenario.Run) error {
 	if name == "" || strings.ContainsAny(name, " /?&=") {
 		return fmt.Errorf("sanserve: invalid mount name %q", name)
 	}
@@ -138,6 +157,7 @@ func (s *Server) Mount(name string, full, view *snapstore.Timeline) error {
 		Name:      name,
 		Full:      full,
 		View:      view,
+		Run:       run,
 		ds:        experiments.NewTimelineDataset(s.opts.Cfg, full, view),
 		fullStore: snapstore.NewStore(full, s.opts.SnapCacheDays),
 		viewStore: snapstore.NewStore(view, s.opts.SnapCacheDays),
@@ -314,10 +334,6 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// A range spanning the whole timeline is the same query as no
-	// range at all; normalizing here keeps the clipping behavior fully
-	// determined by the cache key (lo, hi).
-	ranged := lo > 1 || hi < m.Full.NumDays()
 	format := r.URL.Query().Get("format")
 	if format == "" {
 		format = "json"
@@ -326,6 +342,32 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json or gob)", format))
 		return
 	}
+	data, ctype, err := s.figureResult(m, id, lo, hi, format)
+	if err != nil {
+		s.met.figureErrors.Add(1)
+		code := http.StatusInternalServerError
+		var se *statusError
+		if ok := asStatusError(err, &se); ok {
+			code = se.code
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(data)
+}
+
+// figureResult computes (or serves from the result cache) one
+// figure's encoded response for a mount and day range.  It is the
+// shared compute path of /v1/figures and /v1/compare: both endpoints
+// hit the same (timeline, figure, day-range, format) cache keys with
+// single-flight de-duplication, so a comparison warms the per-scenario
+// cache and vice versa.
+func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([]byte, string, error) {
+	// A range spanning the whole timeline is the same query as no
+	// range at all; normalizing here keeps the clipping behavior fully
+	// determined by the cache key (lo, hi).
+	ranged := lo > 1 || hi < m.Full.NumDays()
 	s.met.figureRequests.Add(1)
 
 	key := cacheKey{timeline: m.Name, figure: id, lo: lo, hi: hi, format: format}
@@ -365,18 +407,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.met.cacheMisses.Add(1)
 	}
-	if err != nil {
-		s.met.figureErrors.Add(1)
-		code := http.StatusInternalServerError
-		var se *statusError
-		if ok := asStatusError(err, &se); ok {
-			code = se.code
-		}
-		httpError(w, code, err.Error())
-		return
-	}
-	w.Header().Set("Content-Type", ctype)
-	w.Write(data)
+	return data, ctype, err
 }
 
 // statusError carries an HTTP status through the cache compute path.

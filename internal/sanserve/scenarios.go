@@ -1,0 +1,161 @@
+package sanserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// This file is the scenario-facing half of the service: workspace
+// mounting plus the /v1/scenarios and /v1/compare endpoints.  A
+// comparison computes the same registry figure over N mounted
+// timelines in one response, going through the same per-scenario
+// result-cache keys as /v1/figures — so comparisons and single-figure
+// queries warm each other, and a repeated comparison is N byte-copies.
+
+// MountWorkspace loads a scenario-sweep workspace directory (as
+// written by scenario.Sweep / `sangen sweep`) and mounts every run
+// under its scenario name, with manifest provenance attached.
+func (s *Server) MountWorkspace(dir string) error {
+	m, err := scenario.LoadManifest(dir)
+	if err != nil {
+		return fmt.Errorf("sanserve: workspace %s: %w", dir, err)
+	}
+	for i := range m.Runs {
+		run := m.Runs[i]
+		full, view, err := m.Timelines(dir, run)
+		if err != nil {
+			return fmt.Errorf("sanserve: workspace %s: %w", dir, err)
+		}
+		if err := s.mount(run.Scenario, full, view, &run); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScenarioInfo describes one mount in /v1/scenarios.  Provenance
+// fields are present only for workspace mounts.
+type ScenarioInfo struct {
+	Name string `json:"name"`
+	Days int    `json:"days"`
+
+	Title        string  `json:"title,omitempty"`
+	Seed         *uint64 `json:"seed,omitempty"`
+	ConfigDigest string  `json:"config_digest,omitempty"`
+	SocialNodes  int     `json:"social_nodes,omitempty"`
+	SocialLinks  int     `json:"social_links,omitempty"`
+	FullBytes    int     `json:"full_bytes,omitempty"`
+	ViewBytes    int     `json:"view_bytes,omitempty"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]ScenarioInfo, 0, len(s.mounts))
+	for _, m := range s.mounts {
+		info := ScenarioInfo{
+			Name:      m.Name,
+			Days:      m.Full.NumDays(),
+			FullBytes: m.Full.Size(),
+			ViewBytes: m.View.Size(),
+		}
+		if m.Run != nil {
+			seed := m.Run.Seed
+			info.Title = m.Run.Title
+			info.Seed = &seed
+			info.ConfigDigest = m.Run.ConfigDigest
+			info.SocialNodes = m.Run.SocialNodes
+			info.SocialLinks = m.Run.SocialLinks
+		}
+		infos = append(infos, info)
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, map[string]any{"scenarios": infos})
+}
+
+// CompareResponse is the wire form of one cross-scenario figure query:
+// the same figure computed per scenario, in scenario order.  Each
+// result is the exact cached byte payload /v1/figures would serve.
+type CompareResponse struct {
+	Figure    string            `json:"figure"`
+	Scenarios []string          `json:"scenarios"`
+	Results   []json.RawMessage `json:"results"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.met.compareRequests.Add(1)
+	if f := r.URL.Query().Get("format"); f != "" && f != "json" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("compare supports only json, not %q", f))
+		return
+	}
+	mounts, err := s.compareMounts(r.URL.Query().Get("scenarios"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	resp := CompareResponse{Figure: id}
+	for _, m := range mounts {
+		lo, hi, err := parseDayRange(r, m.Full.NumDays())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("scenario %q: %v", m.Name, err))
+			return
+		}
+		data, _, err := s.figureResult(m, id, lo, hi, "json")
+		if err != nil {
+			s.met.figureErrors.Add(1)
+			code := http.StatusInternalServerError
+			var se *statusError
+			if asStatusError(err, &se) {
+				code = se.code
+			}
+			httpError(w, code, fmt.Sprintf("scenario %q: %v", m.Name, err))
+			return
+		}
+		resp.Scenarios = append(resp.Scenarios, m.Name)
+		resp.Results = append(resp.Results, json.RawMessage(data))
+	}
+	writeJSON(w, resp)
+}
+
+// compareMounts resolves the ?scenarios= list: comma-separated mount
+// names served in request order, or every mount in stable name order
+// when the parameter is empty.
+func (s *Server) compareMounts(param string) ([]*Mount, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.mounts) == 0 {
+		return nil, fmt.Errorf("no timelines mounted")
+	}
+	if param == "" {
+		mounts := make([]*Mount, 0, len(s.mounts))
+		for _, m := range s.mounts {
+			mounts = append(mounts, m)
+		}
+		sort.Slice(mounts, func(i, j int) bool { return mounts[i].Name < mounts[j].Name })
+		return mounts, nil
+	}
+	var mounts []*Mount
+	seen := map[string]bool{}
+	for _, name := range strings.Split(param, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		m, ok := s.mounts[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (see /v1/scenarios)", name)
+		}
+		mounts = append(mounts, m)
+	}
+	if len(mounts) == 0 {
+		return nil, fmt.Errorf("empty scenario list %q", param)
+	}
+	return mounts, nil
+}

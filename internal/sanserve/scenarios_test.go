@@ -1,0 +1,123 @@
+package sanserve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestScenariosEndpointPlainMounts: mounts made without a workspace
+// still list, just without sweep provenance.
+func TestScenariosEndpointPlainMounts(t *testing.T) {
+	s := newTestServer(t, Options{})
+	rec := get(t, s.Handler(), "/v1/scenarios")
+	if rec.Code != 200 {
+		t.Fatalf("/v1/scenarios: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Scenarios []ScenarioInfo `json:"scenarios"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Scenarios) != 1 || resp.Scenarios[0].Name != "gplus" || resp.Scenarios[0].Days != 12 {
+		t.Fatalf("scenarios: %+v", resp.Scenarios)
+	}
+	if resp.Scenarios[0].ConfigDigest != "" || resp.Scenarios[0].Seed != nil {
+		t.Errorf("plain mount must carry no sweep provenance: %+v", resp.Scenarios[0])
+	}
+}
+
+// TestCompareSharesCacheWithFigures pins the tentpole cache contract:
+// a comparison over N mounts computes each figure once through the
+// same keys /v1/figures uses, concurrent identical comparisons
+// single-flight, and repeats are pure hits.
+func TestCompareSharesCacheWithFigures(t *testing.T) {
+	full, view := testTimelines(t)
+	s := New(Options{Cfg: testConfig()})
+	for _, name := range []string{"a", "b", "c"} {
+		if err := s.Mount(name, full, view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var invocations atomic.Int64
+	s.runFigure = func(id string, ds *experiments.Dataset) (experiments.Figure, error) {
+		invocations.Add(1)
+		return experiments.RunOn(id, ds)
+	}
+	h := s.Handler()
+
+	// Warm one mount through the single-figure endpoint first: the
+	// comparison must reuse that cache entry, not recompute it.
+	if rec := get(t, h, "/v1/figures/3?timeline=b"); rec.Code != 200 {
+		t.Fatalf("warm figure: %d", rec.Code)
+	}
+	if got := invocations.Load(); got != 1 {
+		t.Fatalf("warm-up invoked driver %d times", got)
+	}
+
+	const clients = 16
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/compare/3", nil))
+			if rec.Code == 200 {
+				bodies[i] = rec.Body.String()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range bodies {
+		if b == "" {
+			t.Fatalf("client %d failed", i)
+		}
+		if b != bodies[0] {
+			t.Fatalf("client %d got different bytes", i)
+		}
+	}
+	// Three mounts, one of them pre-warmed: exactly two new driver runs
+	// across all 16 concurrent comparisons.
+	if got := invocations.Load(); got != 3 {
+		t.Fatalf("driver invoked %d times, want 3 (one per mount)", got)
+	}
+
+	var cmp CompareResponse
+	if err := json.Unmarshal([]byte(bodies[0]), &cmp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 3 || cmp.Scenarios[0] != "a" || cmp.Scenarios[2] != "c" {
+		t.Fatalf("compare shape: %+v", cmp.Scenarios)
+	}
+	var fig FigureResponse
+	if err := json.Unmarshal(cmp.Results[1], &fig); err != nil {
+		t.Fatal(err)
+	}
+	if fig.Timeline != "b" || fig.Figure != "3" {
+		t.Fatalf("embedded result: %+v", fig)
+	}
+
+	// Explicit subset selection, reversed input order: served in
+	// stable request order, still zero new computations.
+	rec := get(t, h, "/v1/compare/3?scenarios=c,a")
+	if rec.Code != 200 {
+		t.Fatalf("subset compare: %d", rec.Code)
+	}
+	var sub CompareResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Results) != 2 || sub.Scenarios[0] != "c" || sub.Scenarios[1] != "a" {
+		t.Fatalf("subset shape: %+v", sub.Scenarios)
+	}
+	if got := invocations.Load(); got != 3 {
+		t.Fatalf("subset compare recomputed: %d invocations", got)
+	}
+}

@@ -1,0 +1,255 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gplus"
+	"repro/internal/snapstore"
+)
+
+// ManifestFile is the workspace index file name.
+const ManifestFile = "manifest.json"
+
+// manifestVersion guards against future layout changes.
+const manifestVersion = 1
+
+// Run records one completed scenario simulation inside a workspace:
+// provenance (seed, config digest), the packed timeline files, and
+// headline pack statistics.
+type Run struct {
+	Scenario     string `json:"scenario"`
+	Title        string `json:"title"`
+	Seed         uint64 `json:"seed"`
+	ConfigDigest string `json:"config_digest"`
+
+	Days        int `json:"days"`
+	SocialNodes int `json:"social_nodes"` // final day
+	SocialLinks int `json:"social_links"`
+	AttrNodes   int `json:"attr_nodes"`
+	AttrLinks   int `json:"attr_links"`
+
+	FullFile  string `json:"full_file"` // relative to the workspace dir
+	ViewFile  string `json:"view_file"`
+	FullBytes int    `json:"full_bytes"`
+	ViewBytes int    `json:"view_bytes"`
+
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Manifest indexes a sweep workspace.  Runs are sorted by scenario
+// name, so manifests of identical sweeps are byte-comparable.
+type Manifest struct {
+	Version int   `json:"version"`
+	Scale   int   `json:"scale"` // base DailyBase the sweep ran at
+	Runs    []Run `json:"runs"`
+}
+
+// Run resolves one entry by scenario name.
+func (m *Manifest) Run(name string) (Run, bool) {
+	for _, r := range m.Runs {
+		if r.Scenario == name {
+			return r, true
+		}
+	}
+	return Run{}, false
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Dir is the workspace directory; it is created if missing.
+	Dir string
+	// Scenarios are registry names to run; empty means every built-in
+	// scenario.
+	Scenarios []string
+	// Base is the configuration scenarios patch over; a zero Days
+	// means gplus.DefaultConfig().
+	Base gplus.Config
+	// Workers bounds simulation concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when set, is called as each scenario finishes.
+	Progress func(Run)
+}
+
+// Sweep simulates every requested scenario in parallel, packs each
+// run's full and crawl-view timelines into the workspace directory,
+// and writes (and returns) the manifest.  Each scenario runs with the
+// base seed unless its patch overrides it, so a sweep is one
+// controlled experiment: identical arrivals-randomness, different
+// mechanisms.
+func Sweep(opts Options) (*Manifest, error) {
+	base := opts.Base
+	if base.Days == 0 {
+		base = gplus.DefaultConfig()
+	}
+	names := opts.Scenarios
+	if len(names) == 0 {
+		names = Names()
+	}
+	// Resolve and validate every scenario before simulating anything:
+	// a typo in the last name must not waste the first N simulations.
+	cfgs := make([]gplus.Config, len(names))
+	scens := make([]Scenario, len(names))
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("scenario: %q requested twice (scenario names are workspace file stems and must be unique)", name)
+		}
+		seen[name] = true
+		s, err := Get(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := s.Config(base)
+		if err != nil {
+			return nil, err
+		}
+		scens[i], cfgs[i] = s, cfg
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("scenario: creating workspace: %w", err)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards runs, errs, Progress calls
+		runs []Run
+		errs []error
+		jobs = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run, err := runOne(opts.Dir, scens[i], cfgs[i])
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+				} else {
+					runs = append(runs, run)
+					if opts.Progress != nil {
+						opts.Progress(run)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range names {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Scenario < runs[j].Scenario })
+	m := &Manifest{Version: manifestVersion, Scale: base.DailyBase, Runs: runs}
+	if err := writeManifest(opts.Dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// runOne simulates a single scenario and packs its timelines.
+func runOne(dir string, s Scenario, cfg gplus.Config) (Run, error) {
+	start := time.Now()
+	sim := gplus.New(cfg)
+	full, view, err := sim.RunTimelines(nil)
+	if err != nil {
+		return Run{}, fmt.Errorf("scenario %q: packing: %w", s.Name, err)
+	}
+	run := Run{
+		Scenario:     s.Name,
+		Title:        s.Title,
+		Seed:         cfg.Seed,
+		ConfigDigest: Digest(cfg),
+		Days:         full.NumDays(),
+		SocialNodes:  sim.G.NumSocial(),
+		SocialLinks:  sim.G.NumSocialEdges(),
+		AttrNodes:    sim.G.NumAttrs(),
+		AttrLinks:    sim.G.NumAttrEdges(),
+		FullFile:     s.Name + ".full.tl",
+		ViewFile:     s.Name + ".view.tl",
+		FullBytes:    full.Size(),
+		ViewBytes:    view.Size(),
+	}
+	if err := full.WriteFile(filepath.Join(dir, run.FullFile)); err != nil {
+		return Run{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := view.WriteFile(filepath.Join(dir, run.ViewFile)); err != nil {
+		return Run{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	run.ElapsedMS = time.Since(start).Milliseconds()
+	return run, nil
+}
+
+func writeManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestFile), append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads a workspace manifest and sanity-checks it against
+// the files on disk.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: not a sweep workspace: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("scenario: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("scenario: manifest version %d (this build reads %d)", m.Version, manifestVersion)
+	}
+	if len(m.Runs) == 0 {
+		return nil, fmt.Errorf("scenario: manifest in %s lists no runs", dir)
+	}
+	seen := make(map[string]bool, len(m.Runs))
+	for _, r := range m.Runs {
+		if seen[r.Scenario] {
+			return nil, fmt.Errorf("scenario: manifest in %s lists %q twice", dir, r.Scenario)
+		}
+		seen[r.Scenario] = true
+		for _, f := range []string{r.FullFile, r.ViewFile} {
+			if f == "" || f != filepath.Base(f) {
+				return nil, fmt.Errorf("scenario: run %q: invalid timeline file name %q", r.Scenario, f)
+			}
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				return nil, fmt.Errorf("scenario: run %q: %w", r.Scenario, err)
+			}
+		}
+	}
+	return &m, nil
+}
+
+// Timelines loads one run's packed timeline pair from the workspace.
+func (m *Manifest) Timelines(dir string, r Run) (full, view *snapstore.Timeline, err error) {
+	if full, err = snapstore.LoadFile(filepath.Join(dir, r.FullFile)); err != nil {
+		return nil, nil, fmt.Errorf("scenario: run %q: %w", r.Scenario, err)
+	}
+	if view, err = snapstore.LoadFile(filepath.Join(dir, r.ViewFile)); err != nil {
+		return nil, nil, fmt.Errorf("scenario: run %q: %w", r.Scenario, err)
+	}
+	return full, view, nil
+}
