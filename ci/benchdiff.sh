@@ -23,6 +23,11 @@ BASELINE=BENCH_baseline.json
 
 SNAPSTORE_BENCHES='^(BenchmarkTimelineLoad|BenchmarkTimelineMap)$'
 SANSERVE_BENCHES='^(BenchmarkCachedFigureRequest|BenchmarkCachedCompareRequest|BenchmarkSnapshotStats)$'
+# The incremental dataset build (the first-touch cost of a sanserve
+# mount).  Its recompute twin is benchmarked too so the committed
+# baseline documents the fold's speedup ratio and a regression in
+# either path trips the gate.
+ROOT_BENCHES='^(BenchmarkDatasetBuild|BenchmarkDatasetBuildRecompute)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -30,6 +35,7 @@ trap 'rm -f "$raw"' EXIT
 echo "benchdiff: running hot-path benchmarks ($COUNT x $BENCHTIME each, -cpu 4)"
 go test -run '^$' -bench "$SNAPSTORE_BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 ./internal/snapstore >>"$raw"
 go test -run '^$' -bench "$SANSERVE_BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 ./internal/sanserve >>"$raw"
+go test -run '^$' -bench "$ROOT_BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 . >>"$raw"
 
 # Fold the raw `go test -bench` output into "name min_ns" pairs:
 # strip the -cpu suffix and keep the fastest of the repeated runs.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -38,7 +39,18 @@ type Config struct {
 	Seed      uint64
 	DiamEvery int   // compute diameters every k-th day
 	HLLBits   uint8 // HyperANF precision
-	Workers   int   // snapstore MapN workers for day sweeps (0 = GOMAXPROCS)
+	// Workers sizes the snapstore MapN pool (and its snapshot caches)
+	// on the Recompute path; 0 means GOMAXPROCS.  The default fold
+	// build is a single sequential walk and does not use it.
+	Workers int
+
+	// Recompute forces the pre-fold measurement path: every day is
+	// reconstructed through the snapstore worker pool and measured from
+	// a cold graph.  The default (false) folds the timelines forward
+	// incrementally, which produces identical DayMetrics; the recompute
+	// path is retained as the reference implementation for equivalence
+	// tests and benchmarks.
+	Recompute bool
 }
 
 // DefaultConfig is the full experiment scale (~20k users).
@@ -190,9 +202,12 @@ func GetDataset(cfg Config) *Dataset {
 // NewTimelineDataset returns a Dataset backed by already-packed
 // timelines instead of a simulation: full is the daily full-SAN
 // timeline and view the daily crawl-view timeline (view may be nil to
-// reuse full for both roles, e.g. when only one .tl file is mounted).
-// The build measures every day by mapping over reconstructed
-// snapshots on the snapstore worker pool; nothing is re-simulated.
+// reuse full for both roles, e.g. when only one .tl file is mounted;
+// otherwise both timelines must cover the same number of days).  The
+// build folds the timelines forward incrementally — one evolving SAN
+// per role, exact metrics from delta-updated accumulators — unless
+// Cfg.Recompute selects the per-day snapshot recompute path; nothing
+// is ever re-simulated, and both paths measure identically.
 //
 // Accessors panic if a day fails to decode; callers serving untrusted
 // files should validate the timelines once up front (reconstruct the
@@ -236,46 +251,176 @@ func buildSimDataset(ds *Dataset) {
 
 func buildTimelineDataset(ds *Dataset, full, view *snapstore.Timeline) {
 	ds.full, ds.view = full, view
-	last := view.NumDays() - 1
-	half := 48 // 1-based day 49, the paper's halfway crawl
-	if half > last {
-		half = last / 2
-	}
-	var err error
-	if ds.halfView, err = view.ReconstructAt(half); err != nil {
-		panic(fmt.Sprintf("experiments: reconstructing halfway view: %v", err))
-	}
-	if ds.finalView, err = view.ReconstructAt(last); err != nil {
-		panic(fmt.Sprintf("experiments: reconstructing final view: %v", err))
-	}
-	if ds.finalFull, err = full.ReconstructAt(full.NumDays() - 1); err != nil {
-		panic(fmt.Sprintf("experiments: reconstructing final full SAN: %v", err))
-	}
 	measureTimelines(ds)
+	// The fold walk captures the halfway and final snapshots in
+	// passing; the recompute path (and the degenerate empty timeline)
+	// reconstructs whatever is still missing.
+	last := view.NumDays() - 1
+	var err error
+	if ds.halfView == nil {
+		if ds.halfView, err = view.ReconstructAt(halfDay(view.NumDays())); err != nil {
+			panic(fmt.Sprintf("experiments: reconstructing halfway view: %v", err))
+		}
+	}
+	if ds.finalView == nil {
+		if ds.finalView, err = view.ReconstructAt(last); err != nil {
+			panic(fmt.Sprintf("experiments: reconstructing final view: %v", err))
+		}
+	}
+	if ds.finalFull == nil {
+		if ds.finalFull, err = full.ReconstructAt(full.NumDays() - 1); err != nil {
+			panic(fmt.Sprintf("experiments: reconstructing final full SAN: %v", err))
+		}
+	}
 }
 
-// measureTimelines fills ds.days by mapping over reconstructed
-// snapshots on the snapstore worker pool.  Sampled estimators get a
-// per-day rng so the measurement of a day does not depend on
-// evaluation order — simulation-backed and timeline-backed datasets
-// therefore measure identically.
+// halfDay returns the 0-based index of the halfway crawl: 1-based day
+// 49 (the paper's), or the middle day of shorter timelines.
+func halfDay(numDays int) int {
+	half := 48
+	if last := numDays - 1; half > last {
+		half = last / 2
+	}
+	return half
+}
+
+// measureTimelines fills ds.days.  Sampled estimators get a per-day
+// rng so the measurement of a day does not depend on evaluation order
+// — simulation-backed and timeline-backed datasets, fold and
+// recompute, therefore all measure identically.
 func measureTimelines(ds *Dataset) {
-	ds.days = make([]DayMetrics, ds.full.NumDays())
+	if ds.Cfg.Recompute {
+		ds.days, _, _ = recomputeDayMetrics(ds.Cfg, ds.full, ds.view)
+		return
+	}
+	measureTimelinesFold(ds)
+}
+
+// measureTimelinesFold is the incremental path: one FoldN walk over
+// the timeline pair maintains an evolving SAN per role plus exact
+// accumulators (degree histograms, via each day's Delta) in O(new
+// structure) per day.  Whole-graph counters (reciprocity, densities,
+// size stats) are O(1) reads off the evolving SANs, degree moments and
+// the attribute power-law exponent come from the folded histograms,
+// and only the paper's sampled estimators (clustering, assortativity,
+// diameters) still run against the day's graph — with the clustering
+// estimator served by a delta-invalidated neighbor cache.
+func measureTimelinesFold(ds *Dataset) {
+	numDays := ds.full.NumDays()
+	if numDays == 0 {
+		ds.days = nil
+		return
+	}
+	ds.days = make([]DayMetrics, numDays)
+	half, last := halfDay(numDays), numDays-1
+
+	soc := metrics.NewSocialDegreeAccum()
+	att := metrics.NewAttrDegreeAccum()
+	nc := metrics.NewNeighborCache()
+	sameView := ds.view == ds.full
+	tls := []*snapstore.Timeline{ds.full}
+	if !sameView {
+		tls = append(tls, ds.view)
+	}
+	err := snapstore.FoldN(tls, func(day int, gs []*san.SAN, deltas []*snapstore.Delta) error {
+		full, fd := gs[0], deltas[0]
+		view, vd := full, fd
+		if !sameView {
+			view, vd = gs[1], deltas[1]
+		}
+		soc.AddNodes(fd.NewSocial)
+		nc.AddNodes(fd.NewSocial)
+		for _, e := range fd.SocialEdges {
+			soc.AddEdge(e.U, e.V)
+			nc.Invalidate(e.U)
+			nc.Invalidate(e.V)
+		}
+		att.AddUsers(vd.NewSocial)
+		att.AddAttrs(vd.NewAttrs)
+		for _, l := range vd.AttrLinks {
+			att.AddLink(l.U, l.A)
+		}
+
+		m := measureDaySampled(ds.Cfg, day+1, full, view, nc)
+		m.MuOut, m.SigmaOut = stats.LogMomentsHist(soc.Out.Counts())
+		m.MuIn, m.SigmaIn = stats.LogMomentsHist(soc.In.Counts())
+		m.MuAttrDeg, m.SigmaAttrDeg = stats.LogMomentsHist(att.User.Counts())
+		m.AlphaAttrSocial = stats.FitPowerLawHist(att.Attr.Counts(), 1).Alpha
+		ds.days[day] = m
+
+		// Capture the figure snapshots in passing (simulation-backed
+		// datasets have already recorded their own).  The final-day
+		// graphs are retained un-cloned: Fold releases them after the
+		// last visit.
+		if day == half && ds.halfView == nil {
+			ds.halfView = view.Clone()
+		}
+		if day == last {
+			if ds.finalView == nil {
+				ds.finalView = view
+			}
+			if ds.finalFull == nil {
+				ds.finalFull = full
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: folding timelines: %v", err))
+	}
+}
+
+// recomputeDayMetrics is the pre-fold batch path, retained as the
+// reference implementation: it maps measureDay over reconstructed
+// snapshots on the snapstore worker pool.  Each snapshot cache is
+// sized to the worker count — every worker pins its chunk's head day
+// in both stores, so an undersized cache would let chunk heads evict
+// each other and force rebuilds from day 0.  The stores are returned
+// so tests can assert exactly that (zero evictions over a full sweep).
+func recomputeDayMetrics(cfg Config, full, view *snapstore.Timeline) ([]DayMetrics, *snapstore.Store, *snapstore.Store) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fullStore := snapstore.NewStore(full, workers)
+	viewStore := snapstore.NewStore(view, workers)
+	days := make([]DayMetrics, full.NumDays())
 	err := snapstore.MapN(
-		[]*snapstore.Store{snapstore.NewStore(ds.full, 4), snapstore.NewStore(ds.view, 4)},
-		snapstore.AllDays(ds.full), ds.Cfg.Workers,
+		[]*snapstore.Store{fullStore, viewStore},
+		snapstore.AllDays(full), workers,
 		func(i int, gs []*san.SAN) error {
-			ds.days[i] = measureDay(ds.Cfg, i+1, gs[0], gs[1])
+			days[i] = measureDay(cfg, i+1, gs[0], gs[1])
 			return nil
 		})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: mapping timelines: %v", err))
 	}
+	return days, fullStore, viewStore
 }
 
 // measureDay computes the full per-day metric record from one day's
-// reconstructed full SAN and crawl view.
+// reconstructed full SAN and crawl view, extracting every degree
+// sample from the cold graph.  The fold path computes the same record
+// from its accumulators; stats.LogMomentsHist and stats.FitPowerLawHist
+// guarantee the two agree bitwise.
 func measureDay(cfg Config, day int, full, view *san.SAN) DayMetrics {
+	m := measureDaySampled(cfg, day, full, view, nil)
+	m.MuOut, m.SigmaOut = stats.LogMoments(metrics.OutDegrees(full))
+	m.MuIn, m.SigmaIn = stats.LogMoments(metrics.InDegrees(full))
+	m.MuAttrDeg, m.SigmaAttrDeg = stats.LogMoments(metrics.AttrDegrees(view))
+	m.AlphaAttrSocial = stats.FitPowerLawFixedXmin(metrics.AttrSocialDegrees(view), 1).Alpha
+	return m
+}
+
+// measureDaySampled computes the per-day metrics shared by the fold
+// and recompute paths: O(1) counter reads plus the paper's sampled and
+// edge-sweep estimators, which run against the day's graph with a
+// per-day rng.  The rng consumption order (social clustering, then
+// attribute clustering, then the attribute diameter) is part of the
+// determinism contract between the two paths.  nc, when non-nil,
+// serves the social clustering estimator cached neighbor lists; the
+// estimate is identical either way.
+func measureDaySampled(cfg Config, day int, full, view *san.SAN, nc *metrics.NeighborCache) DayMetrics {
 	rng := rand.New(rand.NewPCG(cfg.Seed^uint64(day)*0x9b05688c2b3e6c1f, uint64(day)))
 	ccSamples := metrics.SampleSize(0.01, 100) // ε=0.01, ν=100 per day
 	m := DayMetrics{
@@ -285,29 +430,27 @@ func measureDay(cfg Config, day int, full, view *san.SAN) DayMetrics {
 		AttrDensity:   view.AttrDensity(),
 		Assort:        metrics.SocialAssortativity(full),
 		AttrAssort:    metrics.AttrAssortativity(view),
-		CC:            metrics.AverageSocialClustering(full, ccSamples, rng),
+		CC:            socialCC(full, ccSamples, rng, nc),
 		AttrCC:        metrics.AverageAttrClustering(view, ccSamples, rng),
 		DiamSocial:    math.NaN(),
 		DiamAttr:      math.NaN(),
 	}
 	m.Stats = view.Stats()
-	m.MuOut, m.SigmaOut = stats.LogMoments(metrics.OutDegrees(full))
-	m.MuIn, m.SigmaIn = stats.LogMoments(metrics.InDegrees(full))
-	var pos []int
-	for _, k := range metrics.AttrDegrees(view) {
-		if k > 0 {
-			pos = append(pos, k)
-		}
-	}
-	m.MuAttrDeg, m.SigmaAttrDeg = stats.LogMoments(pos)
-	m.AlphaAttrSocial = stats.FitPowerLawFixedXmin(metrics.AttrSocialDegrees(view), 1).Alpha
-
 	if cfg.DiamEvery > 0 && day%cfg.DiamEvery == 0 && day >= cfg.DiamEvery {
 		nf := hll.HyperANF(full, hll.Options{Precision: cfg.HLLBits, Seed: cfg.Seed})
 		m.DiamSocial = nf.EffectiveDiameter(0.9)
 		m.DiamAttr = attrDiameter(view, rng)
 	}
 	return m
+}
+
+// socialCC dispatches the social clustering estimator through the
+// neighbor cache when one is being maintained.
+func socialCC(g *san.SAN, k int, rng *rand.Rand, nc *metrics.NeighborCache) float64 {
+	if nc != nil {
+		return nc.AverageSocialClustering(g, k, rng)
+	}
+	return metrics.AverageSocialClustering(g, k, rng)
 }
 
 // attrDiameter estimates the effective attribute diameter by sampling
@@ -416,11 +559,19 @@ func Render(f Figure) string {
 	for _, n := range f.Notes {
 		fmt.Fprintf(&b, "# %s\n", n)
 	}
-	// Collect the union of X values.
+	// Collect the union of X values, and index each series by X value
+	// up front — resolving every cell with a linear scan over the
+	// series is quadratic for dense figures.  First occurrence wins,
+	// matching the scan it replaces.
 	xsSet := map[float64]bool{}
-	for _, s := range f.Series {
-		for _, x := range s.X {
+	cells := make([]map[float64]float64, len(f.Series))
+	for i, s := range f.Series {
+		cells[i] = make(map[float64]float64, len(s.X))
+		for j, x := range s.X {
 			xsSet[x] = true
+			if _, ok := cells[i][x]; !ok {
+				cells[i][x] = s.Y[j]
+			}
 		}
 	}
 	xs := make([]float64, 0, len(xsSet))
@@ -440,9 +591,8 @@ func Render(f Figure) string {
 	b.WriteByte('\n')
 	for _, x := range xs {
 		fmt.Fprintf(&b, "%12.4g", x)
-		for _, s := range f.Series {
-			v, ok := lookup(s, x)
-			if ok {
+		for i := range f.Series {
+			if v, ok := cells[i][x]; ok {
 				fmt.Fprintf(&b, " %20.6g", v)
 			} else {
 				fmt.Fprintf(&b, " %20s", "-")
@@ -451,13 +601,4 @@ func Render(f Figure) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
-}
-
-func lookup(s Series, x float64) (float64, bool) {
-	for i, sx := range s.X {
-		if sx == x {
-			return s.Y[i], true
-		}
-	}
-	return 0, false
 }

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sameDayMetrics compares two per-day records field by field, treating
+// NaN as equal to NaN (diameters off-schedule, degenerate early-day
+// fits).  Everything else must match bitwise: the fold path is
+// advertised as producing *identical* metrics, not merely close ones.
+func sameDayMetrics(a, b DayMetrics) error {
+	if a.Day != b.Day || a.Stats != b.Stats {
+		return fmt.Errorf("day/stats diverge: %+v vs %+v", a, b)
+	}
+	fields := []struct {
+		name string
+		x, y float64
+	}{
+		{"Recip", a.Recip, b.Recip},
+		{"SocialDensity", a.SocialDensity, b.SocialDensity},
+		{"AttrDensity", a.AttrDensity, b.AttrDensity},
+		{"Assort", a.Assort, b.Assort},
+		{"AttrAssort", a.AttrAssort, b.AttrAssort},
+		{"CC", a.CC, b.CC},
+		{"AttrCC", a.AttrCC, b.AttrCC},
+		{"MuOut", a.MuOut, b.MuOut},
+		{"SigmaOut", a.SigmaOut, b.SigmaOut},
+		{"MuIn", a.MuIn, b.MuIn},
+		{"SigmaIn", a.SigmaIn, b.SigmaIn},
+		{"MuAttrDeg", a.MuAttrDeg, b.MuAttrDeg},
+		{"SigmaAttrDeg", a.SigmaAttrDeg, b.SigmaAttrDeg},
+		{"AlphaAttrSocial", a.AlphaAttrSocial, b.AlphaAttrSocial},
+		{"DiamSocial", a.DiamSocial, b.DiamSocial},
+		{"DiamAttr", a.DiamAttr, b.DiamAttr},
+	}
+	for _, f := range fields {
+		if !eqNaN(f.x, f.y) {
+			return fmt.Errorf("%s: %v vs %v", f.name, f.x, f.y)
+		}
+	}
+	return nil
+}
+
+// TestFoldMatchesRecompute is the tentpole's equivalence gate: the
+// incremental fold must produce exactly the per-day metrics the old
+// MapN snapshot-recompute path produces, diameters included.
+func TestFoldMatchesRecompute(t *testing.T) {
+	cfg := goldenConfig() // diameters every 6 days, exercised cheaply
+	ds := GetDataset(cfg) // fold-built (Recompute is false)
+	foldDays := ds.Days()
+
+	recDays, _, _ := recomputeDayMetrics(cfg, ds.FullTimeline(), ds.ViewTimeline())
+	if len(recDays) != len(foldDays) {
+		t.Fatalf("recompute measured %d days, fold %d", len(recDays), len(foldDays))
+	}
+	for i := range foldDays {
+		if err := sameDayMetrics(recDays[i], foldDays[i]); err != nil {
+			t.Fatalf("day %d: fold diverges from recompute: %v", i+1, err)
+		}
+	}
+}
+
+// TestRecomputeDatasetMatchesFold drives the recompute path through
+// the public Dataset API (Config.Recompute) and checks the halfway and
+// final snapshots agree with the fold-captured ones.
+func TestRecomputeDatasetMatchesFold(t *testing.T) {
+	cfg := goldenConfig()
+	fold := GetDataset(cfg)
+	rcfg := cfg
+	rcfg.Recompute = true
+	rec := NewTimelineDataset(rcfg, fold.FullTimeline(), fold.ViewTimeline())
+	for i, m := range rec.Days() {
+		if err := sameDayMetrics(m, fold.Days()[i]); err != nil {
+			t.Fatalf("day %d: %v", i+1, err)
+		}
+	}
+	tl := NewTimelineDataset(cfg, fold.FullTimeline(), fold.ViewTimeline())
+	if tl.HalfView().Stats() != rec.HalfView().Stats() {
+		t.Errorf("halfway views diverge: %+v vs %+v", tl.HalfView().Stats(), rec.HalfView().Stats())
+	}
+	if tl.FinalView().Stats() != rec.FinalView().Stats() {
+		t.Errorf("final views diverge: %+v vs %+v", tl.FinalView().Stats(), rec.FinalView().Stats())
+	}
+	if tl.FinalFull().Stats() != rec.FinalFull().Stats() {
+		t.Errorf("final full SANs diverge: %+v vs %+v", tl.FinalFull().Stats(), rec.FinalFull().Stats())
+	}
+}
+
+// TestRecomputeCachesSizedToWorkers is the regression test for the
+// hardcoded 4-entry snapshot caches: with more workers than cache
+// slots, MapN chunk heads evicted each other and every sweep rebuilt
+// chunks from day 0.  Sized to the worker count, a full sweep must
+// complete with zero evictions in both stores.
+func TestRecomputeCachesSizedToWorkers(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Workers = 8 // more workers than the old fixed cache size
+	ds := GetDataset(goldenConfig())
+	days, fullStore, viewStore := recomputeDayMetrics(cfg, ds.FullTimeline(), ds.ViewTimeline())
+	if len(days) != ds.FullTimeline().NumDays() {
+		t.Fatalf("measured %d days, want %d", len(days), ds.FullTimeline().NumDays())
+	}
+	if s := fullStore.Stats(); s.Evictions != 0 {
+		t.Errorf("full store evicted %d chunk heads during the sweep (stats %+v)", s.Evictions, s)
+	}
+	if s := viewStore.Stats(); s.Evictions != 0 {
+		t.Errorf("view store evicted %d chunk heads during the sweep (stats %+v)", s.Evictions, s)
+	}
+}
+
+// BenchmarkRender pins the figure-table renderer: a dense figure (many
+// series sharing many X values) used to pay a linear series scan per
+// cell.
+func BenchmarkRender(b *testing.B) {
+	fig := Figure{ID: "bench", Title: "dense"}
+	const points = 600
+	for s := 0; s < 12; s++ {
+		sr := Series{Name: fmt.Sprintf("s%d", s)}
+		for p := 0; p < points; p++ {
+			sr.X = append(sr.X, float64(p))
+			sr.Y = append(sr.Y, math.Sqrt(float64(s*p)))
+		}
+		fig.Series = append(fig.Series, sr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Render(fig)
+		if !strings.Contains(out, "dense") {
+			b.Fatal("bad render")
+		}
+	}
+}

@@ -4,7 +4,11 @@
 // its attribute analogue (§3.3, §4.1).
 package hll
 
-import "math"
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+)
 
 // Counter is a HyperLogLog register set.  The zero value is not usable;
 // create counters with NewCounter or a Pool.
@@ -43,10 +47,9 @@ func (c *Counter) Add(hash uint64) {
 	rest := hash << c.p
 	// Rank: position of the leftmost 1-bit of the remaining bits, in
 	// [1, 64-p+1]; all-zero remainder maps to 64-p+1.
-	rank := uint8(1)
-	for rest&(1<<63) == 0 && rank <= 64-c.p {
-		rank++
-		rest <<= 1
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if max := 64 - c.p + 1; rank > max {
+		rank = max
 	}
 	if rank > c.regs[idx] {
 		c.regs[idx] = rank
@@ -55,11 +58,27 @@ func (c *Counter) Add(hash uint64) {
 
 // Union merges other into c (register-wise max).  It reports whether
 // any register changed, which HyperANF uses for convergence detection.
+//
+// The merge runs eight registers per step (SWAR bytewise max): ranks
+// are at most 64-p+1 < 0x80, so adding the per-byte sentinel 0x80 to
+// x-y can never borrow across byte lanes, making the high bit of each
+// lane an x >= y comparator.  HyperANF spends nearly all of its time
+// here — one union per directed edge per iteration.
 func (c *Counter) Union(other *Counter) bool {
+	const high = 0x8080808080808080
+	const low = 0x0101010101010101
 	changed := false
-	for i, r := range other.regs {
-		if r > c.regs[i] {
-			c.regs[i] = r
+	a, b := c.regs, other.regs
+	for i := 0; i < len(a); i += 8 {
+		x := binary.LittleEndian.Uint64(a[i:])
+		y := binary.LittleEndian.Uint64(b[i:])
+		if x == y {
+			continue
+		}
+		ge := ((x | high) - y) & high  // per-lane: x_i >= y_i
+		mask := (ge >> 7 & low) * 0xFF // expand comparator bit to full lane
+		if max := x&mask | y&^mask; max != x {
+			binary.LittleEndian.PutUint64(a[i:], max)
 			changed = true
 		}
 	}
@@ -78,6 +97,18 @@ func (c *Counter) Clone() *Counter {
 	return n
 }
 
+// pow2neg[r] is exactly 2^-r — the same value math.Pow(2, -r) returns
+// for these integer exponents (both are exact powers of two), fetched
+// without the transcendental-call overhead.  Ranks never exceed
+// 64-p+1 <= 61.
+var pow2neg = func() [64]float64 {
+	var t [64]float64
+	for r := range t {
+		t[r] = math.Ldexp(1, -r)
+	}
+	return t
+}()
+
 // Estimate returns the estimated cardinality, with the standard
 // small-range (linear counting) and large-range corrections of
 // Flajolet et al.
@@ -86,7 +117,7 @@ func (c *Counter) Estimate() float64 {
 	var sum float64
 	zeros := 0
 	for _, r := range c.regs {
-		sum += math.Pow(2, -float64(r))
+		sum += pow2neg[r]
 		if r == 0 {
 			zeros++
 		}

@@ -69,13 +69,17 @@ func knnPoints(sum map[int]float64, cnt map[int]int) []KnnPoint {
 // the Pearson correlation, over directed social edges (u, v), between
 // the outdegree of the source u and the indegree of the target v.
 // It ranges over [-1, 1]; Google+ is near 0 (Figure 7b).
+//
+// The edge sample is iterated in place (twice) instead of being
+// materialized: the per-day sweeps of the experiments layer call this
+// on every snapshot, and two O(|Es|) float slices per day is the
+// dominant allocation there.
 func SocialAssortativity(g *san.SAN) float64 {
-	var xs, ys []float64
-	g.ForEachSocialEdge(func(u, v san.NodeID) {
-		xs = append(xs, float64(g.OutDegree(u)))
-		ys = append(ys, float64(g.InDegree(v)))
+	return pearsonOver(g.NumSocialEdges(), func(visit func(x, y float64)) {
+		g.ForEachSocialEdge(func(u, v san.NodeID) {
+			visit(float64(g.OutDegree(u)), float64(g.InDegree(v)))
+		})
 	})
-	return pearson(xs, ys)
 }
 
 // AttrAssortativity returns the attribute assortativity coefficient of
@@ -83,38 +87,40 @@ func SocialAssortativity(g *san.SAN) float64 {
 // the social degree of the attribute node a and the attribute degree
 // of the social node u (Figure 12b).
 func AttrAssortativity(g *san.SAN) float64 {
-	var xs, ys []float64
-	for a := 0; a < g.NumAttrs(); a++ {
-		k := float64(g.SocialDegreeOfAttr(san.AttrID(a)))
-		for _, u := range g.Members(san.AttrID(a)) {
-			xs = append(xs, k)
-			ys = append(ys, float64(g.AttrDegree(u)))
+	return pearsonOver(g.NumAttrEdges(), func(visit func(x, y float64)) {
+		for a := 0; a < g.NumAttrs(); a++ {
+			k := float64(g.SocialDegreeOfAttr(san.AttrID(a)))
+			for _, u := range g.Members(san.AttrID(a)) {
+				visit(k, float64(g.AttrDegree(u)))
+			}
 		}
-	}
-	return pearson(xs, ys)
+	})
 }
 
-// pearson duplicates stats.Pearson to keep metrics free of the stats
-// dependency (metrics is a measurement layer; stats is a modeling one).
-func pearson(xs, ys []float64) float64 {
-	n := float64(len(xs))
+// pearsonOver computes the Pearson correlation of a paired sample
+// delivered by re-running an iterator (once for the means, once for
+// the moments), mirroring stats.Pearson's two-pass formula without
+// materializing the sample.  n is the number of pairs the iterator
+// yields.  metrics stays free of the stats dependency (metrics is a
+// measurement layer; stats is a modeling one).
+func pearsonOver(n int, each func(visit func(x, y float64))) float64 {
 	if n == 0 {
 		return 0
 	}
 	var mx, my float64
-	for i := range xs {
-		mx += xs[i]
-		my += ys[i]
-	}
-	mx /= n
-	my /= n
+	each(func(x, y float64) {
+		mx += x
+		my += y
+	})
+	mx /= float64(n)
+	my /= float64(n)
 	var cov, vx, vy float64
-	for i := range xs {
-		dx, dy := xs[i]-mx, ys[i]-my
+	each(func(x, y float64) {
+		dx, dy := x-mx, y-my
 		cov += dx * dy
 		vx += dx * dx
 		vy += dy * dy
-	}
+	})
 	if vx < 1e-12 || vy < 1e-12 {
 		return 0
 	}

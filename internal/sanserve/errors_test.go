@@ -23,6 +23,9 @@ func TestHandlerErrorBodies(t *testing.T) {
 		{"unknown timeline", "/v1/figures/2?timeline=ghost", 404, `unknown timeline "ghost"`},
 		{"day range outside timeline", "/v1/figures/2?days=0-99", 400, "outside timeline [1,12]"},
 		{"malformed day range", "/v1/figures/2?days=bogus", 400, `bad days "bogus"`},
+		{"conflicting day selectors", "/v1/figures/2?day=3&days=1-5", 400, "conflicting day selectors"},
+		{"conflicting selectors on sweep", "/v1/snapshots/stats?day=3&days=1-5", 400, "conflicting day selectors"},
+		{"conflicting selectors on compare", "/v1/compare/2?day=2&days=2-4", 400, "conflicting day selectors"},
 		{"reversed day range", "/v1/figures/2?days=9-3", 400, "outside timeline"},
 		{"malformed single day", "/v1/figures/2?day=x", 400, `bad day "x"`},
 		{"unsupported format", "/v1/figures/2?format=xml", 400, `unknown format "xml"`},

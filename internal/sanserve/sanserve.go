@@ -225,11 +225,15 @@ func (s *Server) mountFor(r *http.Request) (*Mount, error) {
 
 // parseDayRange interprets ?day=N or ?days=LO-HI (1-based, inclusive)
 // against a timeline of numDays days.  Absent both, the full range is
-// returned.
+// returned; passing both is rejected rather than silently preferring
+// one.
 func parseDayRange(r *http.Request, numDays int) (lo, hi int, err error) {
 	q := r.URL.Query()
 	lo, hi = 1, numDays
 	switch {
+	case q.Get("day") != "" && q.Get("days") != "":
+		return 0, 0, fmt.Errorf("conflicting day selectors day=%q and days=%q (pass one)",
+			q.Get("day"), q.Get("days"))
 	case q.Get("day") != "":
 		d, err := strconv.Atoi(q.Get("day"))
 		if err != nil {

@@ -133,6 +133,14 @@ func newLinkGroups[T id](n, prevSocial int, prevDeg []int32, adj func(san.NodeID
 
 // ApplyDelta advances g in place by one delta record.
 func ApplyDelta(g *san.SAN, rec []byte) error {
+	return applyDeltaInto(g, rec, nil)
+}
+
+// applyDeltaInto is ApplyDelta with optional capture: when d is
+// non-nil, the decoded growth (node counts, every new link) is
+// recorded into it in application order, which is what the Fold walk
+// hands to incremental visitors.
+func applyDeltaInto(g *san.SAN, rec []byte, d *Delta) error {
 	r := &reader{buf: rec}
 	if tag := r.byte(); r.err == nil && tag != tagDelta {
 		return fmt.Errorf("snapstore: not a delta record (tag %q)", tag)
@@ -155,11 +163,29 @@ func ApplyDelta(g *san.SAN, rec []byte) error {
 	if err := decodeAttrCatalog(r, g, newAttrs); err != nil {
 		return err
 	}
+	addSocial, addAttr := g.AddSocialEdge, g.AddAttrEdge
+	if d != nil {
+		d.NewSocial, d.NewAttrs = int(newSocial), newAttrs
+		addSocial = func(u, v san.NodeID) bool {
+			if !g.AddSocialEdge(u, v) {
+				return false
+			}
+			d.SocialEdges = append(d.SocialEdges, SocialEdge{U: u, V: v})
+			return true
+		}
+		addAttr = func(u san.NodeID, a san.AttrID) bool {
+			if !g.AddAttrEdge(u, a) {
+				return false
+			}
+			d.AttrLinks = append(d.AttrLinks, AttrLink{U: u, A: a})
+			return true
+		}
+	}
 	numSocial := g.NumSocial()
-	if err := applyGroups(r, numSocial, numSocial, "social", g.AddSocialEdge); err != nil {
+	if err := applyGroups(r, numSocial, numSocial, "social", addSocial); err != nil {
 		return err
 	}
-	if err := applyGroups(r, numSocial, g.NumAttrs(), "attribute", g.AddAttrEdge); err != nil {
+	if err := applyGroups(r, numSocial, g.NumAttrs(), "attribute", addAttr); err != nil {
 		return err
 	}
 	return r.finish()

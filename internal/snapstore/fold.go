@@ -1,0 +1,115 @@
+package snapstore
+
+import (
+	"fmt"
+
+	"repro/internal/san"
+)
+
+// A Delta is the parsed form of one day of append-only growth: what a
+// day record added to the SAN, in application order.  Day 0 of a fold
+// is presented the same way — its "delta" lists the entire base
+// snapshot — so visitors initialize and advance incremental state
+// through a single code path.
+type Delta struct {
+	NewSocial   int          // social nodes added this day
+	NewAttrs    int          // attribute nodes added this day
+	SocialEdges []SocialEdge // new directed social links
+	AttrLinks   []AttrLink   // new attribute links
+}
+
+// SocialEdge is one directed social link u -> v.
+type SocialEdge struct {
+	U, V san.NodeID
+}
+
+// AttrLink is one attribute link between social node U and attribute A.
+type AttrLink struct {
+	U san.NodeID
+	A san.AttrID
+}
+
+// reset clears the delta for reuse, keeping the backing arrays.
+func (d *Delta) reset() {
+	d.NewSocial, d.NewAttrs = 0, 0
+	d.SocialEdges = d.SocialEdges[:0]
+	d.AttrLinks = d.AttrLinks[:0]
+}
+
+// fromSnapshot fills the delta with the whole of g, as if the base
+// snapshot were one day of growth over an empty SAN.
+func (d *Delta) fromSnapshot(g *san.SAN) {
+	d.NewSocial, d.NewAttrs = g.NumSocial(), g.NumAttrs()
+	g.ForEachSocialEdge(func(u, v san.NodeID) {
+		d.SocialEdges = append(d.SocialEdges, SocialEdge{U: u, V: v})
+	})
+	for u := 0; u < g.NumSocial(); u++ {
+		for _, a := range g.Attrs(san.NodeID(u)) {
+			d.AttrLinks = append(d.AttrLinks, AttrLink{U: san.NodeID(u), A: a})
+		}
+	}
+}
+
+// Fold walks every day of the timeline in order, maintaining one
+// evolving SAN: day 0 is decoded once, every later day applies that
+// day's delta in place — no per-day reconstruction, no clone.  The
+// visitor receives the updated graph and the day's parsed Delta, so
+// incremental consumers can update accumulators in O(new structure)
+// and still read any whole-graph metric from g.
+//
+// The graph and delta are reused across days: the visitor must treat g
+// as read-only and must not retain g or d past the call — with one
+// exception: after the final day's visit the fold never touches the
+// graph again, so a visitor may keep the last day's g instead of
+// cloning it.  The first error (decode or visitor) stops the walk.
+func (t *Timeline) Fold(fn func(day int, g *san.SAN, d *Delta) error) error {
+	return FoldN([]*Timeline{t}, func(day int, gs []*san.SAN, ds []*Delta) error {
+		return fn(day, gs[0], ds[0])
+	})
+}
+
+// FoldN is Fold over several equal-length timelines in lockstep: each
+// visit sees every timeline's graph advanced to the same day.  The
+// experiments layer folds the full-SAN and crawl-view timelines of one
+// dataset together this way.
+func FoldN(tls []*Timeline, fn func(day int, gs []*san.SAN, ds []*Delta) error) error {
+	if len(tls) == 0 {
+		return fmt.Errorf("snapstore: FoldN needs at least one timeline")
+	}
+	numDays := tls[0].NumDays()
+	for _, t := range tls[1:] {
+		if t.NumDays() != numDays {
+			return fmt.Errorf("snapstore: FoldN timelines disagree on length (%d vs %d days)",
+				numDays, t.NumDays())
+		}
+	}
+	if numDays == 0 {
+		return nil
+	}
+	gs := make([]*san.SAN, len(tls))
+	ds := make([]*Delta, len(tls))
+	for i, t := range tls {
+		g, err := DecodeSnapshot(t.days[0])
+		if err != nil {
+			return fmt.Errorf("snapstore: day 0: %w", err)
+		}
+		gs[i] = g
+		ds[i] = &Delta{}
+		ds[i].fromSnapshot(g)
+	}
+	if err := fn(0, gs, ds); err != nil {
+		return err
+	}
+	for day := 1; day < numDays; day++ {
+		for i, t := range tls {
+			ds[i].reset()
+			if err := applyDeltaInto(gs[i], t.days[day], ds[i]); err != nil {
+				return fmt.Errorf("snapstore: day %d: %w", day, err)
+			}
+		}
+		if err := fn(day, gs, ds); err != nil {
+			return err
+		}
+	}
+	return nil
+}

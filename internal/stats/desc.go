@@ -213,12 +213,65 @@ func IntsToFloats(data []int) []float64 {
 // LogMoments returns the mean and standard deviation of ln(k) over
 // data values >= 1: the continuous-MLE lognormal parameters tracked in
 // Figures 6 and 11a.
+//
+// The moments are accumulated in canonical order — distinct values
+// ascending, each weighted by its multiplicity — so that LogMomentsHist
+// computes bitwise-identical results from an incrementally maintained
+// histogram of the same sample.
 func LogMoments(data []int) (mu, sigma float64) {
-	var logs []float64
+	clean := make([]int, 0, len(data))
 	for _, k := range data {
 		if k >= 1 {
-			logs = append(logs, math.Log(float64(k)))
+			clean = append(clean, k)
 		}
 	}
-	return MeanStd(logs)
+	sort.Ints(clean)
+	return logMomentsRuns(func(yield func(k, count int)) {
+		for i := 0; i < len(clean); {
+			j := i
+			for j < len(clean) && clean[j] == clean[i] {
+				j++
+			}
+			yield(clean[i], j-i)
+			i = j
+		}
+	})
+}
+
+// LogMomentsHist is LogMoments over a value histogram: hist[k] holds
+// the number of observations with value k (index 0, if present, is
+// ignored like values below 1).  It returns exactly the values
+// LogMoments returns on the equivalent flat sample, which is what lets
+// the experiments layer fold per-day degree moments from delta-updated
+// histograms instead of re-extracting every degree.
+func LogMomentsHist(hist []int) (mu, sigma float64) {
+	return logMomentsRuns(func(yield func(k, count int)) {
+		for k := 1; k < len(hist); k++ {
+			if hist[k] > 0 {
+				yield(k, hist[k])
+			}
+		}
+	})
+}
+
+// logMomentsRuns computes the log-moments from (value, multiplicity)
+// runs delivered in ascending value order.  Both entry points share it
+// so their floating-point operation sequences are identical.
+func logMomentsRuns(runs func(yield func(k, count int))) (mu, sigma float64) {
+	n := 0
+	sum := 0.0
+	runs(func(k, count int) {
+		n += count
+		sum += float64(count) * math.Log(float64(k))
+	})
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	mu = sum / float64(n)
+	var ss float64
+	runs(func(k, count int) {
+		d := math.Log(float64(k)) - mu
+		ss += float64(count) * d * d
+	})
+	return mu, math.Sqrt(ss / float64(n))
 }

@@ -169,12 +169,59 @@ func fitPowerLawAt(sorted []int, xmin int) PowerLawFit {
 	i := sort.SearchInts(sorted, xmin)
 	tail := sorted[i:]
 	n := len(tail)
+	// Accumulate Σ ln k over distinct values ascending, weighted by
+	// multiplicity — the canonical order shared with FitPowerLawHist so
+	// histogram-folded fits are bitwise-identical to batch fits.
+	sumLogK := 0.0
+	counts := make(map[int]int)
+	for j := 0; j < n; {
+		l := j
+		for l < n && tail[l] == tail[j] {
+			l++
+		}
+		sumLogK += float64(l-j) * math.Log(float64(tail[j]))
+		counts[tail[j]] = l - j
+		j = l
+	}
+	return fitPowerLawTail(n, sumLogK, counts, xmin)
+}
+
+// FitPowerLawHist is FitPowerLawFixedXmin over a value histogram:
+// hist[k] holds the number of observations with value k (values below
+// 1 are ignored, as in the flat-sample entry points).  It returns
+// exactly the fit FitPowerLawFixedXmin produces on the equivalent flat
+// sample, so delta-folded degree tallies answer the same exponent the
+// batch extraction does.
+func FitPowerLawHist(hist []int, xmin int) PowerLawFit {
+	total := 0
+	for k := 1; k < len(hist); k++ {
+		total += hist[k]
+	}
+	if xmin < 1 {
+		xmin = 1
+	}
+	n := 0
+	sumLogK := 0.0
+	counts := make(map[int]int)
+	for k := xmin; k < len(hist); k++ {
+		if hist[k] == 0 {
+			continue
+		}
+		n += hist[k]
+		sumLogK += float64(hist[k]) * math.Log(float64(k))
+		counts[k] = hist[k]
+	}
+	fit := fitPowerLawTail(n, sumLogK, counts, xmin)
+	fit.N = total
+	return fit
+}
+
+// fitPowerLawTail runs the fixed-xmin discrete MLE given the tail's
+// sufficient statistics: the tail size n, Σ ln k over the tail, and
+// the tail's value counts (for the KS distance).
+func fitPowerLawTail(n int, sumLogK float64, counts map[int]int, xmin int) PowerLawFit {
 	if n == 0 {
 		return PowerLawFit{Alpha: math.NaN(), Xmin: xmin, KS: math.Inf(1)}
-	}
-	sumLogK := 0.0
-	for _, k := range tail {
-		sumLogK += math.Log(float64(k))
 	}
 	if sumLogK <= 0 {
 		// Every tail observation equals xmin = 1; no slope information.
@@ -203,7 +250,6 @@ func fitPowerLawAt(sorted []int, xmin int) PowerLawFit {
 	}
 	alpha := (lo + hi) / 2
 	fit := PowerLawFit{Alpha: alpha, Xmin: xmin, NTail: n, LogLik: logLik(alpha)}
-	counts := countValues(tail, xmin)
 	zeta := HurwitzZeta(alpha, float64(xmin))
 	fit.KS = ksDistance(counts, n, func(k int) float64 {
 		// P(X <= k) = 1 - ζ(α, k+1)/ζ(α, xmin)

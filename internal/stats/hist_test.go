@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// histOf builds the value histogram of a sample, the form the
+// incremental accumulators maintain.
+func histOf(data []int) []int {
+	max := 0
+	for _, k := range data {
+		if k > max {
+			max = k
+		}
+	}
+	hist := make([]int, max+1)
+	for _, k := range data {
+		if k >= 0 {
+			hist[k]++
+		}
+	}
+	return hist
+}
+
+// TestLogMomentsHistParity is the contract the fold path relies on:
+// moments computed from a histogram must be bitwise-identical to the
+// flat-sample computation, including NaN behavior on empty input.
+func TestLogMomentsHistParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(2000)
+		data := make([]int, n)
+		for i := range data {
+			data[i] = LognormalInt(rng, 1.5, 1.1)
+			if rng.IntN(10) == 0 {
+				data[i] = 0 // zeros must be ignored identically
+			}
+		}
+		mu1, s1 := LogMoments(data)
+		mu2, s2 := LogMomentsHist(histOf(data))
+		if mu1 != mu2 || s1 != s2 {
+			if !(math.IsNaN(mu1) && math.IsNaN(mu2) && math.IsNaN(s1) && math.IsNaN(s2)) {
+				t.Fatalf("trial %d (n=%d): LogMoments (%v, %v) != LogMomentsHist (%v, %v)",
+					trial, n, mu1, s1, mu2, s2)
+			}
+		}
+	}
+}
+
+// TestFitPowerLawHistParity checks every fit field the histogram entry
+// point shares with the flat-sample one, for xmin 1 and 2 and for the
+// degenerate all-ones and empty inputs.
+func TestFitPowerLawHistParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	samples := [][]int{
+		{},
+		{1, 1, 1},
+		{0, 0, 1},
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(3000)
+		data := make([]int, n)
+		for i := range data {
+			data[i] = PowerLawInt(rng, 2.4, 1)
+		}
+		samples = append(samples, data)
+	}
+	for i, data := range samples {
+		for _, xmin := range []int{1, 2} {
+			a := FitPowerLawFixedXmin(data, xmin)
+			b := FitPowerLawHist(histOf(data), xmin)
+			same := func(x, y float64) bool {
+				return x == y || (math.IsNaN(x) && math.IsNaN(y))
+			}
+			if !same(a.Alpha, b.Alpha) || !same(a.KS, b.KS) || !same(a.LogLik, b.LogLik) ||
+				a.NTail != b.NTail || a.N != b.N || a.Xmin != b.Xmin {
+				t.Fatalf("sample %d xmin %d: flat %+v != hist %+v", i, xmin, a, b)
+			}
+		}
+	}
+}
