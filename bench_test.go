@@ -2,6 +2,7 @@ package repro
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/hll"
 	"repro/internal/metrics"
 	"repro/internal/san"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/zhel"
 )
@@ -90,6 +92,61 @@ func benchDatasetBuild(b *testing.B, recompute bool) {
 	}
 }
 
+// --- Simulator hot path --------------------------------------------
+
+// simulateAllocCeiling pins the quick-scale RunTimelines allocation
+// budget (allocations per op, measured by BenchmarkSimulate).  The
+// Fenwick/scratch simulator core stays well under it; a regression
+// back to per-call maps or per-wake neighbor slices trips it.
+const simulateAllocCeiling = 400_000
+
+// BenchmarkSimulate measures the full simulation hot path at quick
+// scale: a three-phase RunTimelines (simulate + crawl view + snapstore
+// pack for every day), the kernel under every sweep scenario and every
+// sanserve -workspace cold mount.  It also asserts the allocation
+// budget: the simulator core must not regress to per-call allocations.
+func BenchmarkSimulate(b *testing.B) {
+	b.ReportAllocs()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := gplus.DefaultConfig()
+		cfg.DailyBase = 100
+		cfg.Seed = uint64(i + 1)
+		if _, _, err := gplus.New(cfg).RunTimelines(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	if allocs := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); allocs > simulateAllocCeiling {
+		b.Fatalf("BenchmarkSimulate allocates %.0f objects/op (ceiling %d): simulator scratch reuse regressed", allocs, simulateAllocCeiling)
+	}
+}
+
+// BenchmarkSweep measures the parallel scenario sweep end to end:
+// simulate, pack, and write a two-scenario workspace (the `sangen
+// sweep` hot path).
+func BenchmarkSweep(b *testing.B) {
+	base := gplus.DefaultConfig()
+	base.DailyBase = 60
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base.Seed = uint64(i + 1)
+		_, err := scenario.Sweep(scenario.Options{
+			Dir:       b.TempDir(),
+			Scenarios: []string{"baseline", "no-triangle-closing"},
+			Base:      base,
+			Workers:   2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Substrate micro-benchmarks and ablations ----------------------
 
 // BenchmarkGenerateSANModel measures the paper's generative model
@@ -136,7 +193,11 @@ func benchAttachment(b *testing.B, heuristic bool) {
 	for i := 0; i < g.NumSocial(); i++ {
 		at.NodeAdded()
 	}
-	g.ForEachSocialEdge(func(u, v san.NodeID) { at.EdgeAdded(v, g.InDegree(v)) })
+	deg := make([]int, g.NumSocial())
+	g.ForEachSocialEdge(func(u, v san.NodeID) {
+		deg[v]++
+		at.EdgeAdded(v, deg[v])
+	})
 	rng := rand.New(rand.NewPCG(1, 2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

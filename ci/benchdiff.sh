@@ -1,12 +1,16 @@
 #!/bin/sh
-# benchdiff: regression gate for the snapstore/sanserve hot paths.
+# benchdiff: regression gate for the simulator/snapstore/sanserve hot
+# paths.
 #
 # Runs the gated benchmarks (BENCHDIFF_COUNT times each, keeping the
 # fastest run to filter scheduler noise) and compares ns/op against the
 # committed BENCH_baseline.json.  A benchmark more than
 # BENCHDIFF_THRESHOLD percent slower than its baseline fails the gate;
 # new benchmarks missing from the baseline fail too, so the baseline
-# cannot silently rot.
+# cannot silently rot.  Comparisons are best-of-BENCHDIFF_ATTEMPTS:
+# when the gate fails, only the still-failing benchmarks are re-run
+# (folding in new minima) before the verdict, so one noisy scheduling
+# window on a shared runner does not flake CI.
 #
 #   sh ci/benchdiff.sh            compare against BENCH_baseline.json
 #   sh ci/benchdiff.sh -update    rewrite BENCH_baseline.json
@@ -18,33 +22,41 @@ set -eu
 
 THRESHOLD=${BENCHDIFF_THRESHOLD:-20}
 COUNT=${BENCHDIFF_COUNT:-5}
+ATTEMPTS=${BENCHDIFF_ATTEMPTS:-3}
 BENCHTIME=${BENCHDIFF_BENCHTIME:-1s}
 BASELINE=BENCH_baseline.json
 
 SNAPSTORE_BENCHES='^(BenchmarkTimelineLoad|BenchmarkTimelineMap)$'
 SANSERVE_BENCHES='^(BenchmarkCachedFigureRequest|BenchmarkCachedCompareRequest|BenchmarkSnapshotStats)$'
 # The incremental dataset build (the first-touch cost of a sanserve
-# mount).  Its recompute twin is benchmarked too so the committed
-# baseline documents the fold's speedup ratio and a regression in
-# either path trips the gate.
-ROOT_BENCHES='^(BenchmarkDatasetBuild|BenchmarkDatasetBuildRecompute)$'
+# mount) and the simulator core (BenchmarkSimulate: quick-scale
+# RunTimelines with its allocation ceiling; BenchmarkSweep: the
+# parallel scenario sweep).  The recompute twin is benchmarked too so
+# the committed baseline documents the fold's speedup ratio and a
+# regression in either path trips the gate.
+ROOT_BENCHES='^(BenchmarkDatasetBuild|BenchmarkDatasetBuildRecompute|BenchmarkSimulate|BenchmarkSweep)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
+
+# collect folds the accumulated raw `go test -bench` output into
+# "name min_ns" pairs: strip the -cpu suffix and keep the fastest of
+# all runs so far (including retry attempts).
+collect() {
+  awk '/^Benchmark/ && / ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = $3
+    if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+  }
+  END { for (n in best) print n, best[n] }' "$raw" | sort
+}
 
 echo "benchdiff: running hot-path benchmarks ($COUNT x $BENCHTIME each, -cpu 4)"
 go test -run '^$' -bench "$SNAPSTORE_BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 ./internal/snapstore >>"$raw"
 go test -run '^$' -bench "$SANSERVE_BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 ./internal/sanserve >>"$raw"
 go test -run '^$' -bench "$ROOT_BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 . >>"$raw"
 
-# Fold the raw `go test -bench` output into "name min_ns" pairs:
-# strip the -cpu suffix and keep the fastest of the repeated runs.
-current=$(awk '/^Benchmark/ && / ns\/op/ {
-  name = $1; sub(/-[0-9]+$/, "", name)
-  ns = $3
-  if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
-}
-END { for (n in best) print n, best[n] }' "$raw" | sort)
+current=$(collect)
 
 if [ -z "$current" ]; then
   echo "benchdiff: no benchmark output parsed"
@@ -67,29 +79,46 @@ if [ ! -f "$BASELINE" ]; then
   exit 1
 fi
 
-fail=0
-for name in $(echo "$current" | awk '{ print $1 }'); do
-  now=$(echo "$current" | awk -v n="$name" '$1 == n { print $2 }')
-  base=$(awk -v n="\"$name\"" '$0 ~ n { gsub(/[",:]/, " "); print $2 }' "$BASELINE")
-  if [ -z "$base" ]; then
-    echo "benchdiff: $name has no baseline entry (re-run: sh ci/benchdiff.sh -update)"
-    fail=1
-    continue
-  fi
-  verdict=$(awk -v now="$now" -v base="$base" -v thr="$THRESHOLD" 'BEGIN {
-    delta = (now - base) / base * 100
-    printf "%+.1f%%", delta
-    exit (delta > thr) ? 1 : 0
-  }') && ok=1 || ok=0
-  printf "  %-34s %12.0f ns/op  baseline %12.0f  (%s)\n" "$name" "$now" "$base" "$verdict"
-  if [ "$ok" -eq 0 ]; then
-    echo "benchdiff: $name regressed more than ${THRESHOLD}% over baseline"
-    fail=1
-  fi
+# compare prints the verdict table for $current and emits the names of
+# benchmarks over threshold (missing baseline entries fail immediately
+# and are not retried — re-running cannot fix a stale baseline).
+compare() {
+  for name in $(echo "$current" | awk '{ print $1 }'); do
+    now=$(echo "$current" | awk -v n="$name" '$1 == n { print $2 }')
+    base=$(awk -v n="\"$name\"" '$0 ~ n { gsub(/[",:]/, " "); print $2 }' "$BASELINE")
+    if [ -z "$base" ]; then
+      echo "benchdiff: $name has no baseline entry (re-run: sh ci/benchdiff.sh -update)" >&2
+      echo "MISSING"
+      continue
+    fi
+    verdict=$(awk -v now="$now" -v base="$base" -v thr="$THRESHOLD" 'BEGIN {
+      delta = (now - base) / base * 100
+      printf "%+.1f%%", delta
+      exit (delta > thr) ? 1 : 0
+    }') && ok=1 || ok=0
+    printf "  %-34s %12.0f ns/op  baseline %12.0f  (%s)\n" "$name" "$now" "$base" "$verdict" >&2
+    if [ "$ok" -eq 0 ]; then
+      echo "$name"
+    fi
+  done
+}
+
+attempt=1
+failing=$(compare)
+while [ -n "$failing" ] && ! echo "$failing" | grep -q MISSING && [ "$attempt" -lt "$ATTEMPTS" ]; do
+  attempt=$((attempt + 1))
+  regex="^($(echo "$failing" | paste -sd'|' -))$"
+  echo "benchdiff: retrying over-threshold benchmarks (attempt $attempt/$ATTEMPTS): $regex"
+  go test -run '^$' -bench "$regex" -benchtime "$BENCHTIME" -count "$COUNT" -cpu 4 ./internal/snapstore ./internal/sanserve . >>"$raw" 2>/dev/null || true
+  current=$(collect)
+  failing=$(compare)
 done
 
-if [ "$fail" -ne 0 ]; then
+if [ -n "$failing" ]; then
+  for name in $failing; do
+    [ "$name" = MISSING ] || echo "benchdiff: $name regressed more than ${THRESHOLD}% over baseline (best of $attempt attempts)"
+  done
   echo "benchdiff: FAILED"
   exit 1
 fi
-echo "benchdiff: OK (threshold ${THRESHOLD}%)"
+echo "benchdiff: OK (threshold ${THRESHOLD}%, best of $attempt attempt(s))"

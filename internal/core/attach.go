@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand/v2"
+	"slices"
 	"sort"
 
 	"repro/internal/san"
@@ -24,6 +25,10 @@ const (
 	AttachPAPA
 )
 
+// AttachKinds lists every attachment kind, in declaration order; the
+// stream-equivalence tests sweep it.
+var AttachKinds = []AttachKind{AttachUniform, AttachPA, AttachLAPA, AttachPAPA}
+
 // String names the attachment kind.
 func (k AttachKind) String() string {
 	switch k {
@@ -42,8 +47,11 @@ func (k AttachKind) String() string {
 
 // Attacher samples link targets under the attribute-augmented
 // preferential-attachment models.  It maintains Σ_v (d_in(v)+1)^α
-// incrementally, so creating it once and notifying it of every edge
-// keeps sampling cheap.
+// incrementally, so creating it once and notifying it of every node
+// and edge (NodeAdded/EdgeAdded) keeps sampling cheap: O(1) draws for
+// α ∈ {0, 1} (uniform / ballot decomposition) and O(log n) Fenwick
+// descents for general α — never a linear scan or rejection loop on
+// the hot path.
 //
 // Note on smoothing: the paper writes f ∝ d_in(v)^α, under which
 // zero-indegree nodes can never be chosen and the process stalls at
@@ -63,13 +71,17 @@ type Attacher struct {
 	EnumLimit int
 
 	sumPow float64 // Σ_v (d_in(v)+1)^α over current social nodes
-	maxIn  int     // maximum indegree, for rejection envelopes
 	n      int     // number of social nodes tracked
 	// ballot holds one entry per social edge, naming the edge target.
 	// For α = 1 a uniform draw from (nodes + ballot) samples exactly
 	// ∝ d_in+1 in O(1), avoiding rejection-sampling degeneracy when a
 	// few hubs dominate the indegree mass.
 	ballot []san.NodeID
+	// tree indexes (d_in(v)+1)^α per node for general exponents; it is
+	// only maintained when neither O(1) decomposition applies.
+	tree *weightFenwick
+
+	scr *sampleScratch
 }
 
 // NewAttacher builds an attacher for the given model.
@@ -84,21 +96,47 @@ func NewAttacher(kind AttachKind, alpha, beta float64) *Attacher {
 	return a
 }
 
+// generalAlpha reports whether sampling needs the Fenwick tree (no
+// O(1) decomposition exists for this exponent).
+func (at *Attacher) generalAlpha() bool { return at.Alpha != 0 && at.Alpha != 1 }
+
+func (at *Attacher) fenwick() *weightFenwick {
+	if at.tree == nil {
+		at.tree = newWeightFenwick(1024)
+	}
+	return at.tree
+}
+
+func (at *Attacher) scratch() *sampleScratch {
+	if at.scr == nil {
+		at.scr = &sampleScratch{}
+	}
+	return at.scr
+}
+
+// UseScratch points the attacher at the shared per-simulation scratch
+// arena, replacing its private buffers.  Call before sampling starts;
+// the arena must not be shared by concurrently running simulations.
+func (at *Attacher) UseScratch(s *Scratch) { at.scr = &s.sample }
+
 // NodeAdded must be called when a social node joins the network.
 func (at *Attacher) NodeAdded() {
 	at.n++
 	at.sumPow += 1 // (0+1)^α = 1 for any α
+	if at.generalAlpha() {
+		at.fenwick().Append(1)
+	}
 }
 
 // EdgeAdded must be called after every social edge insertion; v is the
 // edge target whose indegree increased to newIn.
 func (at *Attacher) EdgeAdded(v san.NodeID, newIn int) {
-	at.sumPow += math.Pow(float64(newIn)+1, at.Alpha) - math.Pow(float64(newIn), at.Alpha)
-	if newIn > at.maxIn {
-		at.maxIn = newIn
-	}
+	delta := math.Pow(float64(newIn)+1, at.Alpha) - math.Pow(float64(newIn), at.Alpha)
+	at.sumPow += delta
 	if at.Alpha == 1 {
 		at.ballot = append(at.ballot, v)
+	} else if at.generalAlpha() {
+		at.fenwick().Add(int(v), delta)
 	}
 }
 
@@ -122,6 +160,21 @@ func (at *Attacher) bonusFactor(a int) float64 {
 // state under the configured model.  It excludes u itself and existing
 // out-neighbors of u; it returns -1 if no valid target can be found.
 func (at *Attacher) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	return at.sample(g, u, rng, true)
+}
+
+// SampleNaive is the retained reference sampler: it consumes exactly
+// the same uniform draws as Sample but resolves each draw with a naive
+// linear cumulative scan instead of the Fenwick descent or the prefix
+// binary search.  The stream-equivalence tests pin Sample against it;
+// it is not on any hot path.
+func (at *Attacher) SampleNaive(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	return at.sample(g, u, rng, false)
+}
+
+// sample implements Sample and SampleNaive: identical control flow and
+// rng-draw discipline, with fast selecting the O(log n) resolvers.
+func (at *Attacher) sample(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) san.NodeID {
 	n := g.NumSocial()
 	if n < 2 {
 		return -1
@@ -131,10 +184,10 @@ func (at *Attacher) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID 
 		if v := at.sampleHeuristic(g, u, rng); v >= 0 {
 			return v
 		}
-		return at.sampleBase(g, u, rng)
+		return at.sampleBase(g, u, rng, fast)
 	}
 	if !attrAware || at.Beta == 0 || g.AttrDegree(u) == 0 {
-		return at.sampleBase(g, u, rng)
+		return at.sampleBase(g, u, rng, fast)
 	}
 
 	// Exact mixture sampling: total weight splits into the attribute-
@@ -144,36 +197,26 @@ func (at *Attacher) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID 
 	if limit <= 0 {
 		limit = 4000
 	}
-	sharedCount := make(map[san.NodeID]int)
-	enum := 0
-	for _, a := range g.Attrs(u) {
-		members := g.Members(a)
-		enum += len(members)
-		if enum > limit {
-			// Too popular to enumerate exactly; approximate.
-			if v := at.sampleHeuristic(g, u, rng); v >= 0 {
-				return v
-			}
-			return at.sampleBase(g, u, rng)
+	shared, ok := at.buildShared(g, u, limit)
+	if !ok {
+		// Too popular to enumerate exactly; approximate.
+		if v := at.sampleHeuristic(g, u, rng); v >= 0 {
+			return v
 		}
-		for _, v := range members {
-			if v != u {
-				sharedCount[v]++
-			}
-		}
+		return at.sampleBase(g, u, rng, fast)
 	}
-	// Flatten to a slice ordered by node ID so sampling is
-	// deterministic for a fixed RNG stream (map iteration is not).
-	shared := make([]sharedCand, 0, len(sharedCount))
-	for v, a := range sharedCount {
-		shared = append(shared, sharedCand{v: v, a: a})
-	}
-	sort.Slice(shared, func(i, j int) bool { return shared[i].v < shared[j].v })
+	// Candidate weights accumulate into a prefix-sum table in node-ID
+	// order (the order the old linear scan consumed them in), so a
+	// single uniform draw binary-searches to the index the scan picks.
+	scr := at.scratch()
+	prefix := scr.prefix[:0]
 	var bonusTotal float64
 	for i := range shared {
-		shared[i].w = math.Pow(float64(g.InDegree(shared[i].v))+1, at.Alpha) * at.bonusFactor(shared[i].a)
-		bonusTotal += shared[i].w
+		w := math.Pow(float64(g.InDegree(shared[i].v))+1, at.Alpha) * at.bonusFactor(shared[i].a)
+		bonusTotal += w
+		prefix = append(prefix, bonusTotal)
 	}
+	scr.prefix = prefix
 	baseTotal := at.sumPow - math.Pow(float64(g.InDegree(u))+1, at.Alpha)
 	if baseTotal < 0 {
 		baseTotal = 0
@@ -181,9 +224,9 @@ func (at *Attacher) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID 
 	for tries := 0; tries < 64; tries++ {
 		var v san.NodeID
 		if rng.Float64()*(baseTotal+bonusTotal) < bonusTotal {
-			v = pickWeightedShared(shared, bonusTotal, rng)
+			v = pickShared(shared, prefix, bonusTotal, rng, fast)
 		} else {
-			v = at.rejectionBase(g, rng)
+			v = at.drawBase(g, rng, fast)
 		}
 		if v >= 0 && v != u && !g.HasSocialEdge(u, v) {
 			return v
@@ -192,18 +235,81 @@ func (at *Attacher) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID 
 	return at.fallbackScan(g, u, rng)
 }
 
-// sharedCand is one attribute-sharing candidate with its sampling weight.
+// sharedCand is one attribute-sharing candidate.
 type sharedCand struct {
 	v san.NodeID
-	a int     // number of common attributes
-	w float64 // (d_in+1)^α · bonusFactor(a)
+	a int // number of common attributes
 }
 
-func pickWeightedShared(shared []sharedCand, total float64, rng *rand.Rand) san.NodeID {
+// sampleScratch holds the per-simulation buffers of the exact mixture
+// sampler.  count is indexed by NodeID and is all-zero between calls
+// (touched lists the dirtied entries, which every exit path resets).
+type sampleScratch struct {
+	count   []int32
+	touched []san.NodeID
+	shared  []sharedCand
+	prefix  []float64
+}
+
+// buildShared enumerates the candidates sharing at least one attribute
+// with u, ordered by ascending node ID (sampling must be deterministic
+// for a fixed rng stream).  It reports false when the enumeration
+// exceeds limit.  The result is scratch-owned and valid until the next
+// call.
+func (at *Attacher) buildShared(g *san.SAN, u san.NodeID, limit int) ([]sharedCand, bool) {
+	scr := at.scratch()
+	if n := g.NumSocial(); len(scr.count) < n {
+		scr.count = append(scr.count, make([]int32, n-len(scr.count))...)
+	}
+	touched := scr.touched[:0]
+	enum := 0
+	for _, a := range g.Attrs(u) {
+		members := g.Members(a)
+		enum += len(members)
+		if enum > limit {
+			for _, v := range touched {
+				scr.count[v] = 0
+			}
+			scr.touched = touched
+			return nil, false
+		}
+		for _, v := range members {
+			if v == u {
+				continue
+			}
+			if scr.count[v] == 0 {
+				touched = append(touched, v)
+			}
+			scr.count[v]++
+		}
+	}
+	slices.Sort(touched)
+	shared := scr.shared[:0]
+	for _, v := range touched {
+		shared = append(shared, sharedCand{v: v, a: int(scr.count[v])})
+		scr.count[v] = 0
+	}
+	scr.touched = touched
+	scr.shared = shared
+	return shared, true
+}
+
+// pickShared resolves one uniform draw over the shared-candidate bonus
+// mass: a binary search over the prefix sums (fast), or the equivalent
+// linear cumulative scan (reference).  Both return -1 when rounding
+// pushes the draw past the final prefix, matching the historical
+// linear-scan behavior (the caller retries).
+func pickShared(shared []sharedCand, prefix []float64, total float64, rng *rand.Rand, fast bool) san.NodeID {
 	x := rng.Float64() * total
-	for i := range shared {
-		x -= shared[i].w
-		if x <= 0 {
+	if fast {
+		i := sort.Search(len(prefix), func(i int) bool { return prefix[i] >= x })
+		if i == len(prefix) {
+			return -1
+		}
+		return shared[i].v
+	}
+	for i := range prefix {
+		if prefix[i] >= x {
 			return shared[i].v
 		}
 	}
@@ -219,7 +325,7 @@ func pickWeightedShared(shared []sharedCand, total float64, rng *rand.Rand) san.
 // exponents fall back to SamplePA.
 func (at *Attacher) SamplePAWindow(g *san.SAN, u san.NodeID, rng *rand.Rand, window int) san.NodeID {
 	if at.Alpha != 1 || window <= 0 || len(at.ballot) == 0 {
-		return at.sampleBase(g, u, rng)
+		return at.sampleBase(g, u, rng, true)
 	}
 	n := g.NumSocial()
 	start := 0
@@ -246,13 +352,13 @@ func (at *Attacher) SamplePAWindow(g *san.SAN, u san.NodeID, rng *rand.Rand, win
 // simulator uses it for subscriber behavior (following popular
 // accounts without attribute affinity).
 func (at *Attacher) SamplePA(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
-	return at.sampleBase(g, u, rng)
+	return at.sampleBase(g, u, rng, true)
 }
 
 // sampleBase draws from f ∝ (d_in+1)^α ignoring attributes.
-func (at *Attacher) sampleBase(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+func (at *Attacher) sampleBase(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) san.NodeID {
 	for tries := 0; tries < 64; tries++ {
-		v := at.rejectionBase(g, rng)
+		v := at.drawBase(g, rng, fast)
 		if v >= 0 && v != u && !g.HasSocialEdge(u, v) {
 			return v
 		}
@@ -260,10 +366,13 @@ func (at *Attacher) sampleBase(g *san.SAN, u san.NodeID, rng *rand.Rand) san.Nod
 	return at.fallbackScan(g, u, rng)
 }
 
-// rejectionBase samples v with probability ∝ (d_in(v)+1)^α: O(1)
-// ballot sampling for the linear case, rejection against the envelope
-// (maxIn+1)^α otherwise.
-func (at *Attacher) rejectionBase(g *san.SAN, rng *rand.Rand) san.NodeID {
+// drawBase samples v with probability ∝ (d_in(v)+1)^α using one rng
+// draw: a uniform index for α = 0, the O(1) ballot decomposition for
+// α = 1 ("every node once" plus "every in-edge once"), and otherwise a
+// single uniform draw resolved against the incremental weight index —
+// a Fenwick descent (fast) or the equivalent linear cumulative scan
+// over the same per-node weights (reference).
+func (at *Attacher) drawBase(g *san.SAN, rng *rand.Rand, fast bool) san.NodeID {
 	n := g.NumSocial()
 	if n == 0 {
 		return -1
@@ -272,23 +381,29 @@ func (at *Attacher) rejectionBase(g *san.SAN, rng *rand.Rand) san.NodeID {
 		return san.NodeID(rng.IntN(n))
 	}
 	if at.Alpha == 1 {
-		// Weight d+1 decomposes into "every node once" (the +1) plus
-		// "every in-edge once" (the d): draw from the union.
 		i := rng.IntN(n + len(at.ballot))
 		if i < n {
 			return san.NodeID(i)
 		}
 		return at.ballot[i-n]
 	}
-	env := math.Pow(float64(at.maxIn)+1, at.Alpha)
-	for tries := 0; tries < 1024; tries++ {
-		v := san.NodeID(rng.IntN(n))
-		w := math.Pow(float64(g.InDegree(v))+1, at.Alpha)
-		if rng.Float64()*env <= w {
-			return v
+	t := at.fenwick()
+	if t.Len() == 0 {
+		return -1
+	}
+	x := rng.Float64() * t.Total()
+	if fast {
+		return san.NodeID(t.Search(x))
+	}
+	var cum float64
+	last := t.Len() - 1
+	for v := 0; v <= last; v++ {
+		cum += math.Pow(float64(g.InDegree(san.NodeID(v)))+1, at.Alpha)
+		if cum > x {
+			return san.NodeID(v)
 		}
 	}
-	return san.NodeID(rng.IntN(n))
+	return san.NodeID(last)
 }
 
 // sampleHeuristic implements the §7 LAPA approximation: pick one of
@@ -305,15 +420,10 @@ func (at *Attacher) sampleHeuristic(g *san.SAN, u san.NodeID, rng *rand.Rand) sa
 	if len(members) < 2 {
 		return -1
 	}
-	// Mix between the attribute community and the global base so the
-	// heuristic, like exact LAPA, can still reach non-sharing nodes.
-	maxIn := 0
-	for _, v := range members {
-		if d := g.InDegree(v); d > maxIn {
-			maxIn = d
-		}
-	}
-	env := math.Pow(float64(maxIn)+1, at.Alpha)
+	// Rejection envelope over the attribute community, from the SAN's
+	// incrementally maintained per-attribute in-degree maximum (the
+	// historical member-list scan, at O(1)).
+	env := math.Pow(float64(g.MaxMemberInDegree(a))+1, at.Alpha)
 	for tries := 0; tries < 256; tries++ {
 		v := members[rng.IntN(len(members))]
 		if v == u || g.HasSocialEdge(u, v) {
@@ -328,7 +438,8 @@ func (at *Attacher) sampleHeuristic(g *san.SAN, u san.NodeID, rng *rand.Rand) sa
 }
 
 // fallbackScan linearly scans for any valid target, used only when
-// rejection repeatedly failed (e.g. u already links to almost everyone).
+// repeated draws kept colliding with existing neighbors (e.g. u
+// already links to almost everyone).
 func (at *Attacher) fallbackScan(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
 	n := g.NumSocial()
 	start := rng.IntN(n)
@@ -343,8 +454,9 @@ func (at *Attacher) fallbackScan(g *san.SAN, u san.NodeID, rng *rand.Rand) san.N
 
 // LogProb returns the exact log-probability that the model picks v as
 // the target for source u in the current network state, marginalizing
-// over the full candidate set.  O(|Vs|): used by the likelihood
-// experiments, not the generator.
+// over the full candidate set.  The per-candidate weights are the ones
+// Sample draws from: (d_in+1)^α times the attribute bonus.  O(|Vs|):
+// used by the likelihood experiments, not the generator.
 func (at *Attacher) LogProb(g *san.SAN, u, v san.NodeID, alpha, beta float64, kind AttachKind) float64 {
 	var total, chosen float64
 	n := g.NumSocial()

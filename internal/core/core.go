@@ -186,6 +186,9 @@ func NewModel(p Params) *Model {
 		Closer:   &Closer{Kind: p.Closing, FocalWeight: p.FocalWeight},
 	}
 	m.Attacher.Heuristic = p.LAPAHeuristic
+	sc := NewScratch()
+	m.Attacher.UseScratch(sc)
+	m.Closer.UseScratch(sc)
 	const seedNodes = 5
 	for i := 0; i < seedNodes; i++ {
 		m.addSocialNode()

@@ -1,0 +1,79 @@
+package core
+
+// weightFenwick is a Fenwick (binary indexed) tree over per-node
+// sampling weights.  It supports appending a node, adding a weight
+// delta at an index, and — the sampler primitive — descending from the
+// root to the index a single uniform draw selects, all in O(log n).
+//
+// The tree replaces rejection sampling for general attachment
+// exponents: one uniform draw x in [0, Total()) maps to the unique
+// index i with prefix(i) <= x < prefix(i+1), exactly the index a naive
+// linear cumulative scan over the same weights selects (up to
+// floating-point association of the partial sums, which the golden
+// figures pin).
+type weightFenwick struct {
+	tree []float64 // 1-based; tree[0] unused
+	n    int
+}
+
+func newWeightFenwick(capHint int) *weightFenwick {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &weightFenwick{tree: make([]float64, 1, capHint+1)}
+}
+
+// Len returns the number of indexed nodes.
+func (f *weightFenwick) Len() int { return f.n }
+
+// Append adds a new trailing index with the given weight in O(log n).
+func (f *weightFenwick) Append(w float64) {
+	f.n++
+	i := f.n
+	// tree[i] covers the range (i - lowbit(i), i]; fold in the sibling
+	// ranges strictly inside it.
+	low := i - i&(-i)
+	for j := i - 1; j > low; j -= j & (-j) {
+		w += f.tree[j]
+	}
+	f.tree = append(f.tree, w)
+}
+
+// Add adds delta to the weight at 0-based index i.
+func (f *weightFenwick) Add(i int, delta float64) {
+	for j := i + 1; j <= f.n; j += j & (-j) {
+		f.tree[j] += delta
+	}
+}
+
+// Total returns the sum of all weights.
+func (f *weightFenwick) Total() float64 {
+	var s float64
+	for j := f.n; j > 0; j -= j & (-j) {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// Search returns the 0-based index i selected by draw x: the smallest
+// i whose inclusive prefix sum exceeds x.  Out-of-range draws clamp to
+// the ends, so any x (including Total() itself, reachable through
+// floating-point rounding) yields a valid index.  n must be > 0.
+func (f *weightFenwick) Search(x float64) int {
+	idx := 0
+	bit := 1
+	for bit<<1 <= f.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= f.n && f.tree[next] <= x {
+			x -= f.tree[next]
+			idx = next
+		}
+	}
+	if idx >= f.n {
+		idx = f.n - 1
+	}
+	return idx
+}

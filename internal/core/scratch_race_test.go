@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/san"
+)
+
+// TestConcurrentModelsScratchIsolation runs generative models with the
+// scratch-hungry closing kinds (RR-SAN's firstHopSAN, the baseline's
+// TwoHop) concurrently and checks each result against a sequential
+// reference run.  Scratch buffers are per-simulation; under -race this
+// fails if any of them (neighbor caches, 2-hop marks, attacher
+// candidate tables) leak across simulations.
+func TestConcurrentModelsScratchIsolation(t *testing.T) {
+	params := func(i int) Params {
+		p := NewDefaultParams(600)
+		p.Seed = uint64(100 + i)
+		if i%2 == 1 {
+			p.Closing = CloseBaseline
+		}
+		return p
+	}
+	const runs = 6
+	want := make([]san.Stats, runs)
+	for i := 0; i < runs; i++ {
+		want[i] = Generate(params(i)).Stats()
+	}
+	got := make([]san.Stats, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = Generate(params(i)).Stats()
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("run %d: concurrent result %+v, sequential %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTwoHopScratchMatchesAllocating pins the scratch-based 2-hop
+// builder to the allocating reference: same nodes, same order, across
+// an evolving graph (evolution exercises the memoized neighbor-cache
+// invalidation inside the scratch).
+func TestTwoHopScratchMatchesAllocating(t *testing.T) {
+	p := NewDefaultParams(400)
+	p.Seed = 5
+	m := NewModel(p)
+	var scr TwoHopScratch
+	for step := 1; step <= 400; step++ {
+		m.Step(float64(step))
+		u := san.NodeID(step % m.G.NumSocial())
+		got := scr.TwoHop(m.G, u)
+		want := TwoHop(m.G, u)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: scratch 2-hop has %d nodes, reference %d", step, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: 2-hop order diverges at %d: %d vs %d", step, i, got[i], want[i])
+			}
+		}
+	}
+}

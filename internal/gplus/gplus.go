@@ -267,6 +267,25 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// Scratch is the reusable simulation arena: the attacher's candidate
+// tables plus the simulator's neighborhood buffers.  One Scratch
+// serves one running simulation at a time; sequential simulations (a
+// sweep worker draining scenarios) reuse one arena so per-scenario
+// goroutines stop re-allocating attacher and closing state, while
+// concurrently running simulations must each own one.
+type Scratch struct {
+	core *core.Scratch
+	// nbrs memoizes neighbor-union lists per node (triangle closing
+	// revisits popular intermediates far more often than their degrees
+	// change); NewWithScratch resets it so reuse across simulations is
+	// safe.
+	nbrs san.NeighborCache
+}
+
+// NewScratch returns an empty arena; buffers grow on first use and are
+// retained across simulations.
+func NewScratch() *Scratch { return &Scratch{core: core.NewScratch()} }
+
 // Simulator is the running reference simulation.
 type Simulator struct {
 	Cfg Config
@@ -275,6 +294,10 @@ type Simulator struct {
 
 	attacher *core.Attacher
 	catalog  *catalog
+	scr      *Scratch
+	// ftw is Cfg.FocalTypeWeight flattened into a dense per-type table
+	// (closeTriangle reads it once per attribute per wake-up).
+	ftw [san.NumAttrTypes]float64
 
 	kinds     []UserKind
 	deaths    []float64
@@ -288,11 +311,29 @@ type Simulator struct {
 
 // New builds a simulator with a small bootstrap clique of social users.
 func New(cfg Config) *Simulator {
+	return NewWithScratch(cfg, NewScratch())
+}
+
+// NewWithScratch is New with a caller-owned scratch arena, so a worker
+// running many simulations back to back (the sweep runner) reuses one
+// set of buffers instead of re-allocating per scenario.
+func NewWithScratch(cfg Config, sc *Scratch) *Simulator {
 	s := &Simulator{
 		Cfg:      cfg,
 		G:        san.New(cfg.DailyBase*40, cfg.DailyBase*8, cfg.DailyBase*400),
 		Rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xbb67ae8584caa73b)),
 		attacher: core.NewAttacher(cfg.Attachment, cfg.Alpha, cfg.Beta),
+		scr:      sc,
+	}
+	s.attacher.UseScratch(sc.core)
+	sc.nbrs.Reset()
+	for t, w := range cfg.FocalTypeWeight {
+		// Stray keys outside the defined attribute types were always
+		// inert (no attribute node carries them); keep them inert
+		// instead of indexing out of range.
+		if san.ValidAttrType(t) {
+			s.ftw[t] = w
+		}
 	}
 	s.catalog = newCatalog(s)
 	// Bootstrap: founding social users in a reciprocal clique, all in
@@ -443,7 +484,7 @@ func (s *Simulator) arrive(t float64) {
 // invite-tree growth of the invitation-only phases.
 func (s *Simulator) invitedJoin(u, w san.NodeID) {
 	s.addEdge(u, w, trace.FirstLink)
-	nbrs := s.G.SocialNeighbors(w)
+	nbrs := s.scr.nbrs.Neighbors(s.G, w)
 	if len(nbrs) == 0 {
 		return
 	}
@@ -596,12 +637,12 @@ func (s *Simulator) closeTriangle(u san.NodeID) san.NodeID {
 	if s.Cfg.DisableClosing {
 		return -1 // every wake-up falls through to the attachment model
 	}
-	social := s.G.SocialNeighbors(u)
+	social := s.scr.nbrs.Neighbors(s.G, u)
 	attrs := s.G.Attrs(u)
 	ws := float64(len(social))
 	wa := 0.0
 	for _, a := range attrs {
-		wa += s.Cfg.FocalTypeWeight[s.G.AttrTypeOf(a)]
+		wa += s.ftw[s.G.AttrTypeOf(a)]
 	}
 	if ws+wa <= 0 {
 		return -1
@@ -619,7 +660,7 @@ func (s *Simulator) closeTriangle(u san.NodeID) san.NodeID {
 			}
 		} else {
 			w := social[s.Rng.IntN(len(social))]
-			second = s.G.SocialNeighbors(w)
+			second = s.scr.nbrs.Neighbors(s.G, w)
 		}
 		if len(second) == 0 {
 			continue
@@ -643,7 +684,7 @@ func (s *Simulator) closeTriangle(u san.NodeID) san.NodeID {
 func (s *Simulator) pickAttrByWeight(attrs []san.AttrID, total float64) san.AttrID {
 	x := s.Rng.Float64() * total
 	for _, a := range attrs {
-		x -= s.Cfg.FocalTypeWeight[s.G.AttrTypeOf(a)]
+		x -= s.ftw[s.G.AttrTypeOf(a)]
 		if x <= 0 {
 			return a
 		}
@@ -659,21 +700,10 @@ func (s *Simulator) Declared(u san.NodeID) bool { return s.declared[u] }
 
 // CrawlView returns the network as the paper's crawler saw it: the
 // full social structure, all attribute nodes, but attribute links only
-// for the users who declared their profiles (AttrProb ≈ 22%).
+// for the users who declared their profiles (AttrProb ≈ 22%).  The
+// whole view is one bulk filtered copy (CloneView preserves adjacency
+// order, so it is indistinguishable from the historical edge-by-edge
+// rebuild).
 func (s *Simulator) CrawlView() *san.SAN {
-	v := san.New(s.G.NumSocial(), s.G.NumAttrs(), s.G.NumSocialEdges())
-	v.AddSocialNodes(s.G.NumSocial())
-	for a := 0; a < s.G.NumAttrs(); a++ {
-		v.AddAttrNode(s.G.AttrName(san.AttrID(a)), s.G.AttrTypeOf(san.AttrID(a)))
-	}
-	s.G.ForEachSocialEdge(func(u, w san.NodeID) { v.AddSocialEdge(u, w) })
-	for u := 0; u < s.G.NumSocial(); u++ {
-		if !s.declared[u] {
-			continue
-		}
-		for _, a := range s.G.Attrs(san.NodeID(u)) {
-			v.AddAttrEdge(san.NodeID(u), a)
-		}
-	}
-	return v
+	return s.G.CloneView(s.declared)
 }

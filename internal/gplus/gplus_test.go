@@ -310,3 +310,20 @@ func TestUserKindsAssigned(t *testing.T) {
 		t.Errorf("celebrities (%d) should be rare vs social (%d)", counts[Celebrity], counts[Social])
 	}
 }
+
+// TestStrayFocalTypeWeightKeyIgnored pins the focal-weight table
+// flattening: map keys outside the defined attribute types were always
+// inert (no attribute node carries them) and must stay inert rather
+// than panic New.
+func TestStrayFocalTypeWeightKeyIgnored(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DailyBase = 10
+	cfg.Days = 5
+	cfg.Phase1End, cfg.Phase2End = 2, 4
+	cfg.FocalTypeWeight[san.AttrType(9)] = 0.5
+	sim := New(cfg)
+	sim.Run(nil)
+	if sim.G.NumSocial() == 0 {
+		t.Fatal("simulation produced no users")
+	}
+}

@@ -1,0 +1,39 @@
+//go:build slow
+
+package gplus
+
+import (
+	"testing"
+)
+
+// TestMillionNodeSimulation drives the full 98-day horizon at a scale
+// that yields over a million users — the "paper scale" smoke test for
+// the Fenwick/scratch simulator core (the crawl the paper measures is
+// ~30M nodes; pre-Fenwick, a run of this size was out of reach).  Run
+// it explicitly with:
+//
+//	go test -tags slow -run TestMillionNodeSimulation -timeout 60m ./internal/gplus
+func TestMillionNodeSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.DailyBase = 30000 // ~34 DailyBase-units of arrivals over 98 days
+	sim := New(cfg)
+	full, view, err := sim.RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sim.G.NumSocial(); n < 1_000_000 {
+		t.Fatalf("simulated only %d users, want >= 1M", n)
+	}
+	if full.NumDays() != cfg.Days || view.NumDays() != cfg.Days {
+		t.Fatalf("packed %d/%d days, want %d", full.NumDays(), view.NumDays(), cfg.Days)
+	}
+	if err := sim.G.Validate(); err != nil {
+		t.Fatalf("final graph invalid: %v", err)
+	}
+	t.Logf("simulated %d users, %d social links, %d attrs, %d attr links (full timeline %d bytes, view %d bytes)",
+		sim.G.NumSocial(), sim.G.NumSocialEdges(), sim.G.NumAttrs(), sim.G.NumAttrEdges(),
+		full.Size(), view.Size())
+}

@@ -8,6 +8,7 @@ package likelihood
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/san"
@@ -86,6 +87,7 @@ func EvaluateAttachmentFiltered(tr *trace.Trace, alphas, betas []float64, every,
 	}
 	var paLL, uniLL float64
 	events, seen := 0, 0
+	var scr scoreScratch
 
 	tr.Replay(func(g *san.SAN, e trace.Event) {
 		switch e.Kind {
@@ -98,7 +100,7 @@ func EvaluateAttachmentFiltered(tr *trace.Trace, alphas, betas []float64, every,
 			if score && g.NumSocial() > 2 {
 				seen++
 				if seen%every == 0 {
-					if scoreLink(g, e.U, e.V, alphas, betas, sums, enumLimit,
+					if scoreLink(g, e.U, e.V, alphas, betas, sums, enumLimit, &scr,
 						papaLL, lapaLL, &paLL, &uniLL) {
 						events++
 					}
@@ -137,32 +139,76 @@ func EvaluateAttachmentFiltered(tr *trace.Trace, alphas, betas []float64, every,
 	return res
 }
 
+// cand is one attribute-sharing candidate: its indegree and common-
+// attribute count (per-α weights are derived on the fly).
+type cand struct {
+	d int32 // indegree
+	a int32 // common attributes with the source
+}
+
+// scoreScratch holds the replay-long buffers of scoreLink: a per-node
+// shared-attribute counter (all-zero between events), the touched
+// list, and the candidate table.  One scratch per replay removes the
+// per-event map and keeps candidate iteration in ascending node order,
+// so grid values are deterministic (map iteration order is not).
+type scoreScratch struct {
+	count   []int32
+	touched []san.NodeID
+	cands   []cand
+	bw      []float64 // per-candidate base weights for the current α
+}
+
 // scoreLink adds the log-probability of choosing v from u's
 // viewpoint to every accumulator.  Returns false when the event was
 // skipped (shared-attribute enumeration too large).
 func scoreLink(g *san.SAN, u, v san.NodeID, alphas, betas []float64,
-	sums []float64, enumLimit int,
+	sums []float64, enumLimit int, scr *scoreScratch,
 	papaLL, lapaLL [][]float64, paLL, uniLL *float64) bool {
 
-	// Enumerate candidates sharing attributes with u.
-	shared := make(map[san.NodeID]int)
+	// Enumerate candidates sharing attributes with u, in ascending
+	// node order — the same candidate weights Attacher.Sample and
+	// Attacher.LogProb use.
+	if n := g.NumSocial(); len(scr.count) < n {
+		scr.count = append(scr.count, make([]int32, n-len(scr.count))...)
+	}
+	touched := scr.touched[:0]
 	enum := 0
 	for _, a := range g.Attrs(u) {
 		members := g.Members(a)
 		enum += len(members)
 		if enum > enumLimit {
+			for _, w := range touched {
+				scr.count[w] = 0
+			}
+			scr.touched = touched
 			return false
 		}
 		for _, w := range members {
-			if w != u {
-				shared[w]++
+			if w == u {
+				continue
 			}
+			if scr.count[w] == 0 {
+				touched = append(touched, w)
+			}
+			scr.count[w]++
 		}
 	}
+	slices.Sort(touched)
+	av := int32(0)
+	if int(v) < len(scr.count) {
+		av = scr.count[v]
+	}
+	cands := scr.cands[:0]
+	for _, w := range touched {
+		cands = append(cands, cand{d: int32(g.InDegree(w)), a: scr.count[w]})
+		scr.count[w] = 0
+	}
+	scr.touched = touched
+	scr.cands = cands
+
 	n := g.NumSocial()
 	du := float64(g.InDegree(u))
 	dv := float64(g.InDegree(v))
-	av := shared[v]
 
 	*uniLL += -math.Log(float64(n - 1))
 
@@ -173,16 +219,13 @@ func scoreLink(g *san.SAN, u, v san.NodeID, alphas, betas []float64,
 		//   LAPA bonus: β Σ base_w·a_w            (linear in β)
 		//   PAPA bonus: Σ base_w·((1+a_w)^β - 1)  (per β)
 		var lapaMoment float64
-		type cand struct {
-			b float64
-			a int
+		bw := scr.bw[:0]
+		for _, c := range cands {
+			b := math.Pow(float64(c.d)+1, alpha)
+			bw = append(bw, b)
+			lapaMoment += b * float64(c.a)
 		}
-		cands := make([]cand, 0, len(shared))
-		for w, a := range shared {
-			bw := math.Pow(float64(g.InDegree(w))+1, alpha)
-			lapaMoment += bw * float64(a)
-			cands = append(cands, cand{b: bw, a: a})
-		}
+		scr.bw = bw
 		if alpha == 1 {
 			*paLL += math.Log(chosenBase / base)
 		}
@@ -193,8 +236,8 @@ func scoreLink(g *san.SAN, u, v san.NodeID, alphas, betas []float64,
 			lapaLL[i][j] += math.Log(f / z)
 			// PAPA.
 			zp := base
-			for _, c := range cands {
-				zp += c.b * (math.Pow(1+float64(c.a), beta) - 1)
+			for k, c := range cands {
+				zp += bw[k] * (math.Pow(1+float64(c.a), beta) - 1)
 			}
 			fp := chosenBase * math.Pow(1+float64(av), beta)
 			papaLL[i][j] += math.Log(fp / zp)

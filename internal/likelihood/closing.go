@@ -105,6 +105,9 @@ func EvaluateClosing(tr *trace.Trace, every, hoodLimit int) ClosingComparison {
 	cmp.RR.Kind = core.CloseRR
 	cmp.RRSAN.Kind = core.CloseRRSAN
 	seen := 0
+	// One 2-hop scratch for the whole replay: the evolving graph
+	// invalidates its memoized neighborhoods through degree stamps.
+	var hop core.TwoHopScratch
 
 	tr.Replay(func(g *san.SAN, e trace.Event) {
 		if e.Kind != trace.TriangleLink {
@@ -132,7 +135,7 @@ func EvaluateClosing(tr *trace.Trace, every, hoodLimit int) ClosingComparison {
 		smooth := func(p float64) float64 { return math.Log((1-eps)*p + eps/float64(n)) }
 
 		// Baseline: uniform over the 2-hop radius.
-		hood := core.TwoHop(g, e.U)
+		hood := hop.TwoHop(g, e.U)
 		pb := 0.0
 		for _, w := range hood {
 			if w == e.V {

@@ -1,0 +1,63 @@
+package san
+
+// NeighborCache memoizes SocialNeighbors union lists per node.  The
+// simulator's triangle-closing step repeatedly asks for the
+// neighborhood of the same popular intermediates between graph
+// mutations; the cache rebuilds a node's list only when the node's
+// degrees changed since it was last built, and each rebuild is a
+// mark-stamped two-pass merge — O(deg) writes, no membership probes.
+//
+// A cache serves one goroutine and one evolving SAN at a time.  Reset
+// it before pointing it at a different SAN (stamps are keyed by
+// degrees, which restart across simulations).  Returned slices are
+// cache-owned, valid until the next mutation of that node, and must
+// not be modified.
+type NeighborCache struct {
+	lists  [][]NodeID
+	stamps []uint64
+	mark   []uint32
+	epoch  uint32
+}
+
+// Reset invalidates every entry (buffers are retained for reuse).
+func (c *NeighborCache) Reset() {
+	clear(c.stamps)
+}
+
+// Neighbors returns Γs(u) in SocialNeighbors order, rebuilding the
+// memoized list only if u gained a social link since the last call.
+func (c *NeighborCache) Neighbors(g *SAN, u NodeID) []NodeID {
+	for int(u) >= len(c.lists) {
+		c.lists = append(c.lists, nil)
+		c.stamps = append(c.stamps, 0)
+	}
+	// +1 keeps the zero stamp meaning "never built", including for
+	// isolated nodes with degree (0, 0).
+	out, in := g.out[u], g.in[u]
+	cur := (uint64(len(out))<<32 | uint64(uint32(len(in)))) + 1
+	if c.stamps[u] == cur {
+		return c.lists[u]
+	}
+	if n := g.NumSocial(); len(c.mark) < n {
+		c.mark = append(c.mark, make([]uint32, n-len(c.mark))...)
+	}
+	c.epoch++
+	if c.epoch == 0 { // epoch wrapped: restamp from a clean index
+		clear(c.mark)
+		c.epoch = 1
+	}
+	e := c.epoch
+	lst := c.lists[u][:0]
+	for _, v := range out {
+		c.mark[v] = e
+		lst = append(lst, v)
+	}
+	for _, v := range in {
+		if c.mark[v] != e {
+			lst = append(lst, v)
+		}
+	}
+	c.lists[u] = lst
+	c.stamps[u] = cur
+	return lst
+}

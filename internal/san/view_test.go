@@ -1,0 +1,181 @@
+package san
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// buildRandom grows a random SAN with interleaved social and attribute
+// links, as simulations do.
+func buildRandom(tb testing.TB, nodes, edges, attrs int, seed uint64) *SAN {
+	tb.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	g := New(nodes/2, attrs/2, edges/2) // undersized hints: growth paths must hold up
+	for a := 0; a < attrs; a++ {
+		g.AddAttrNode(AttrType(a%NumAttrTypes).String()+"#"+string(rune('a'+a%26))+string(rune('0'+a/26)), AttrType(a%NumAttrTypes))
+	}
+	for i := 0; i < nodes; i++ {
+		u := g.AddSocialNode()
+		for k := 0; k < rng.IntN(4); k++ {
+			g.AddAttrEdge(u, AttrID(rng.IntN(attrs)))
+		}
+		for k := 0; k < rng.IntN(6) && i > 0; k++ {
+			g.AddSocialEdge(u, NodeID(rng.IntN(i)))
+			g.AddSocialEdge(NodeID(rng.IntN(i)), u)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		tb.Fatalf("built SAN invalid: %v", err)
+	}
+	return g
+}
+
+// naiveView is the historical CrawlView construction: an edge-by-edge
+// rebuild through the public mutators.
+func naiveView(g *SAN, declared []bool) *SAN {
+	v := New(g.NumSocial(), g.NumAttrs(), g.NumSocialEdges())
+	v.AddSocialNodes(g.NumSocial())
+	for a := 0; a < g.NumAttrs(); a++ {
+		v.AddAttrNode(g.AttrName(AttrID(a)), g.AttrTypeOf(AttrID(a)))
+	}
+	g.ForEachSocialEdge(func(u, w NodeID) { v.AddSocialEdge(u, w) })
+	for u := 0; u < g.NumSocial(); u++ {
+		if u >= len(declared) || !declared[u] {
+			continue
+		}
+		for _, a := range g.Attrs(NodeID(u)) {
+			v.AddAttrEdge(NodeID(u), a)
+		}
+	}
+	return v
+}
+
+func sameSAN(t *testing.T, got, want *SAN) {
+	t.Helper()
+	if got.NumSocial() != want.NumSocial() || got.NumAttrs() != want.NumAttrs() ||
+		got.NumSocialEdges() != want.NumSocialEdges() || got.NumAttrEdges() != want.NumAttrEdges() ||
+		got.Mutual() != want.Mutual() {
+		t.Fatalf("size mismatch: got %+v mutual=%d, want %+v mutual=%d", got.Stats(), got.Mutual(), want.Stats(), want.Mutual())
+	}
+	eqN := func(name string, a, b []NodeID, u int) {
+		if len(a) != len(b) {
+			t.Fatalf("%s[%d]: length %d vs %d", name, u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d] diverges at %d: %d vs %d", name, u, i, a[i], b[i])
+			}
+		}
+	}
+	for u := 0; u < want.NumSocial(); u++ {
+		eqN("out", got.Out(NodeID(u)), want.Out(NodeID(u)), u)
+		eqN("in", got.In(NodeID(u)), want.In(NodeID(u)), u)
+		eqN("outSorted", got.OutSorted(NodeID(u)), want.OutSorted(NodeID(u)), u)
+		ga, wa := got.Attrs(NodeID(u)), want.Attrs(NodeID(u))
+		if len(ga) != len(wa) {
+			t.Fatalf("attr[%d]: length %d vs %d", u, len(ga), len(wa))
+		}
+		for i := range ga {
+			if ga[i] != wa[i] {
+				t.Fatalf("attr[%d] diverges at %d", u, i)
+			}
+		}
+	}
+	for a := 0; a < want.NumAttrs(); a++ {
+		eqN("members", got.Members(AttrID(a)), want.Members(AttrID(a)), a)
+		if got.MaxMemberInDegree(AttrID(a)) != want.MaxMemberInDegree(AttrID(a)) {
+			t.Fatalf("attrMaxIn[%d]: %d vs %d", a, got.MaxMemberInDegree(AttrID(a)), want.MaxMemberInDegree(AttrID(a)))
+		}
+		if got.AttrName(AttrID(a)) != want.AttrName(AttrID(a)) || got.AttrTypeOf(AttrID(a)) != want.AttrTypeOf(AttrID(a)) {
+			t.Fatalf("attr catalogue entry %d differs", a)
+		}
+	}
+}
+
+// TestCloneViewMatchesNaiveRebuild pins the bulk filtered copy against
+// the historical edge-by-edge rebuild, list for list — the equivalence
+// CrawlView's bitwise-stable output rests on.
+func TestCloneViewMatchesNaiveRebuild(t *testing.T) {
+	g := buildRandom(t, 600, 2400, 40, 21)
+	declared := make([]bool, g.NumSocial())
+	rng := rand.New(rand.NewPCG(2, 4))
+	for i := range declared {
+		declared[i] = rng.Float64() < 0.25
+	}
+	got := g.CloneView(declared)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("CloneView result invalid: %v", err)
+	}
+	sameSAN(t, got, naiveView(g, declared))
+
+	// Views must be independent of the source: mutating the clone must
+	// not disturb the original (and vice versa).
+	got.AddSocialEdge(0, NodeID(got.NumSocial()-1))
+	got.AddAttrEdge(1, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("mutating a view corrupted the source: %v", err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("mutated view invalid: %v", err)
+	}
+}
+
+// TestNeighborCacheTracksMutation checks the memoized neighbor lists
+// against SocialNeighbors across interleaved queries and mutations.
+func TestNeighborCacheTracksMutation(t *testing.T) {
+	g := buildRandom(t, 300, 1200, 20, 9)
+	var c NeighborCache
+	rng := rand.New(rand.NewPCG(6, 8))
+	for step := 0; step < 4000; step++ {
+		u := NodeID(rng.IntN(g.NumSocial()))
+		got := c.Neighbors(g, u)
+		want := g.SocialNeighbors(u)
+		if len(got) != len(want) {
+			t.Fatalf("step %d node %d: cache has %d neighbors, want %d", step, u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("step %d node %d: order diverges at %d: %d vs %d", step, u, i, got[i], want[i])
+			}
+		}
+		if step%3 == 0 {
+			g.AddSocialEdge(NodeID(rng.IntN(g.NumSocial())), NodeID(rng.IntN(g.NumSocial())))
+		}
+	}
+}
+
+// TestAdjacencyArenaIntegrity hammers the small-window arena: heavy
+// interleaved growth across many nodes must never bleed one node's
+// list into another's.  Validate cross-checks every list against the
+// sorted membership indexes, which would expose any window overlap.
+func TestAdjacencyArenaIntegrity(t *testing.T) {
+	g := New(0, 0, 0) // no hints: every arena chunk path is exercised
+	rng := rand.New(rand.NewPCG(31, 41))
+	for a := 0; a < 12; a++ {
+		g.AddAttrNode(AttrType(a%NumAttrTypes).String()+"#x"+string(rune('a'+a)), AttrType(a%NumAttrTypes))
+	}
+	const nodes = 800
+	g.AddSocialNodes(nodes)
+	for i := 0; i < 20000; i++ {
+		u := NodeID(rng.IntN(nodes))
+		if rng.Float64() < 0.8 {
+			g.AddSocialEdge(u, NodeID(rng.IntN(nodes)))
+		} else {
+			g.AddAttrEdge(u, AttrID(rng.IntN(12)))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("arena-backed SAN invalid after churn: %v", err)
+	}
+	c := g.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	// Appending to cloned lists must not clobber flat-backed siblings.
+	for i := 0; i < 2000; i++ {
+		c.AddSocialEdge(NodeID(rng.IntN(nodes)), NodeID(rng.IntN(nodes)))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid after growth: %v", err)
+	}
+}

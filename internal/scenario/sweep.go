@@ -135,8 +135,13 @@ func Sweep(opts Options) (*Manifest, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch arena per worker: scenarios drain through the
+			// same goroutine sequentially, so attacher/closing buffers
+			// are reused across runs instead of re-allocated per
+			// scenario.  Arenas are never shared across workers.
+			scratch := gplus.NewScratch()
 			for i := range jobs {
-				run, err := runOne(opts.Dir, scens[i], cfgs[i])
+				run, err := runOne(opts.Dir, scens[i], cfgs[i], scratch)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err)
@@ -167,10 +172,11 @@ func Sweep(opts Options) (*Manifest, error) {
 	return m, nil
 }
 
-// runOne simulates a single scenario and packs its timelines.
-func runOne(dir string, s Scenario, cfg gplus.Config) (Run, error) {
+// runOne simulates a single scenario and packs its timelines, reusing
+// the worker's scratch arena across scenarios.
+func runOne(dir string, s Scenario, cfg gplus.Config, scratch *gplus.Scratch) (Run, error) {
 	start := time.Now()
-	sim := gplus.New(cfg)
+	sim := gplus.NewWithScratch(cfg, scratch)
 	full, view, err := sim.RunTimelines(nil)
 	if err != nil {
 		return Run{}, fmt.Errorf("scenario %q: packing: %w", s.Name, err)

@@ -3,7 +3,7 @@ package snapstore
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/san"
 )
@@ -142,7 +142,7 @@ func readIDList[T id](r *reader, max int, what string) []T {
 
 func sortedCopy[T id](s []T) []T {
 	c := append([]T(nil), s...)
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c)
 	return c
 }
 

@@ -33,11 +33,13 @@ func EncodeSnapshot(g *san.SAN) []byte {
 	for a := 0; a < g.NumAttrs(); a++ {
 		buf = appendAttrEntry(buf, g.AttrTypeOf(san.AttrID(a)), g.AttrName(san.AttrID(a)))
 	}
+	// The SAN maintains sorted adjacency incrementally (its membership
+	// index), so canonical encoding order needs no per-node copy+sort.
 	for u := 0; u < g.NumSocial(); u++ {
-		buf = appendIDList(buf, sortedCopy(g.Out(san.NodeID(u))))
+		buf = appendIDList(buf, g.OutSorted(san.NodeID(u)))
 	}
 	for u := 0; u < g.NumSocial(); u++ {
-		buf = appendIDList(buf, sortedCopy(g.Attrs(san.NodeID(u))))
+		buf = appendIDList(buf, g.AttrsSorted(san.NodeID(u)))
 	}
 	return buf
 }
