@@ -1,0 +1,47 @@
+#!/bin/sh
+# loadsmoke: end-to-end smoke of the observability stack.  Packs a
+# tiny timeline, runs the in-process load generator against it, and
+# asserts (1) the loadgen report prints latency percentiles up to p99
+# and (2) the final /metrics page exposes the analytics pipeline
+# counters and the per-endpoint request-duration histogram.
+#
+# Run from the repository root: sh ci/loadsmoke.sh
+set -eu
+
+SCALE=${SCALE:-40}
+DUR=${DUR:-1s}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "loadsmoke: packing a scale-$SCALE timeline"
+go run ./cmd/sanstore pack -out "$tmp/gplus.tl" -scale "$SCALE" -seed 7 >/dev/null
+
+echo "loadsmoke: loadgen ($DUR)"
+go run ./cmd/sanserve -mount "gplus=$tmp/gplus.tl" \
+  -loadgen -fig 2 -c 8 -dur "$DUR" -dump-metrics >"$tmp/out.txt" 2>"$tmp/err.txt" || {
+  echo "loadsmoke: sanserve -loadgen failed" >&2
+  cat "$tmp/err.txt" >&2
+  exit 1
+}
+
+fail() {
+  echo "loadsmoke: FAIL: $1" >&2
+  echo "--- loadgen output ---" >&2
+  cat "$tmp/out.txt" >&2
+  exit 1
+}
+
+# The report line must carry the percentile fields.
+grep -q 'p50 ' "$tmp/out.txt" || fail "report missing p50"
+grep -q 'p95 ' "$tmp/out.txt" || fail "report missing p95"
+grep -q 'p99 ' "$tmp/out.txt" || fail "report missing p99"
+
+# The dumped /metrics page must expose the analytics pipeline and the
+# per-endpoint latency histogram fed by the load.
+grep -q '^sanserve_analytics_dropped_total ' "$tmp/out.txt" || fail "metrics missing sanserve_analytics_dropped_total"
+grep -q '^sanserve_analytics_recorded_total ' "$tmp/out.txt" || fail "metrics missing sanserve_analytics_recorded_total"
+grep -q 'sanserve_request_duration_seconds_bucket{endpoint="figures"' "$tmp/out.txt" || fail "metrics missing figures duration histogram"
+grep -q 'sanserve_request_latency_seconds{endpoint="figures",quantile="0.99"}' "$tmp/out.txt" || fail "metrics missing p99 gauge"
+
+echo "loadsmoke: OK"

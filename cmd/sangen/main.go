@@ -27,9 +27,11 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gplus"
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/scenario"
 	"repro/internal/zhel"
@@ -60,6 +62,7 @@ func runSweep(args []string, w io.Writer) error {
 	scale := fs.Int("scale", 400, "gplus DailyBase arrival scale")
 	seed := fs.Uint64("seed", 42, "base simulation seed (scenarios may override)")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "emit periodic sweep progress (days simulated, links, ETA) to stderr")
 	fs.Parse(args)
 
 	if *list {
@@ -88,11 +91,25 @@ func runSweep(args []string, w io.Writer) error {
 	base.DailyBase = *scale
 	base.Seed = *seed
 
+	// -progress: a shared obs.Progress accumulates day/node/link counts
+	// across all concurrently running scenario simulations, and a ticker
+	// emits one stderr line per second with an ETA over the total day
+	// budget of the sweep.
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress("sweep")
+		stopTick := prog.Tick(time.Second, func(ps obs.ProgressSnapshot) {
+			fmt.Fprintln(os.Stderr, "sangen:", ps)
+		})
+		defer stopTick()
+	}
+
 	m, err := scenario.Sweep(scenario.Options{
 		Dir:       *out,
 		Scenarios: selected,
 		Base:      base,
 		Workers:   *workers,
+		Obs:       prog,
 		Progress: func(r scenario.Run) {
 			fmt.Fprintf(w, "packed %-22s %3d days  %7d nodes  %8d links  %7.1f KiB  (%d ms)\n",
 				r.Scenario, r.Days, r.SocialNodes, r.SocialLinks,

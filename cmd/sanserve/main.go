@@ -5,16 +5,27 @@
 //
 //	sanserve -mount gplus=full.tl,view.tl [-addr :8766] [-cache 256] [-snapcache 8]
 //	sanserve -workspace ws                      (a `sangen sweep` output directory)
+//	sanserve -mount gplus=full.tl -audit audit.ndjson -pprof :6060
 //	sanserve -mount gplus=full.tl -loadgen -fig 2 -c 32 -dur 3s
 //
 // Serving mode mounts each timeline pair and answers
 // /v1/figures/{id}, /v1/compare/{id}, /v1/timelines, /v1/scenarios,
 // /v1/snapshots/{day}/stats, /healthz and /metrics until
-// SIGINT/SIGTERM, then drains in-flight requests and exits.  A
-// -workspace directory mounts every scenario run from its manifest in
-// one flag.  Loadgen mode skips the listener entirely: it drives the
-// handler in-process with -c concurrent workers for -dur and prints
-// the cached-request throughput.
+// SIGINT/SIGTERM, then drains in-flight requests (and the async
+// analytics pipeline) and exits.  A -workspace directory mounts every
+// scenario run from its manifest in one flag.
+//
+// Observability: requests are logged structurally (log/slog, -log
+// text|json) with per-request IDs; -audit FILE streams one NDJSON
+// audit row per request through the non-blocking analytics recorder;
+// /metrics exposes per-endpoint latency histograms with p50/p95/p99
+// gauges; -pprof ADDR serves net/http/pprof on a separate mux/port so
+// profiling is never exposed on the public listener.
+//
+// Loadgen mode skips the listener entirely: it drives the handler
+// in-process with -c concurrent workers for -dur and prints the
+// cached-request throughput with latency percentiles; -dump-metrics
+// appends the final /metrics page.
 package main
 
 import (
@@ -22,8 +33,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sanserve"
 )
 
@@ -41,17 +55,22 @@ type mountFlag struct {
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8766", "listen address")
-		workspace = flag.String("workspace", "", "scenario-sweep workspace directory to mount (see `sangen sweep`)")
-		cache     = flag.Int("cache", 256, "figure result cache entries")
-		snapcache = flag.Int("snapcache", 8, "reconstructed snapshots cached per mounted timeline")
-		workers   = flag.Int("workers", 0, "day-sweep worker pool size (0 = GOMAXPROCS)")
-		quick     = flag.Bool("quick", false, "quick experiment config for model figures")
-		seed      = flag.Uint64("seed", 0, "override experiment seed")
-		loadgen   = flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
-		fig       = flag.String("fig", "2", "loadgen: figure ID to request")
-		conc      = flag.Int("c", 32, "loadgen: concurrent workers")
-		dur       = flag.Duration("dur", 3*time.Second, "loadgen: run duration")
+		addr        = flag.String("addr", ":8766", "listen address")
+		workspace   = flag.String("workspace", "", "scenario-sweep workspace directory to mount (see `sangen sweep`)")
+		cache       = flag.Int("cache", 256, "figure result cache entries")
+		snapcache   = flag.Int("snapcache", 8, "reconstructed snapshots cached per mounted timeline")
+		workers     = flag.Int("workers", 0, "day-sweep worker pool size (0 = GOMAXPROCS)")
+		quick       = flag.Bool("quick", false, "quick experiment config for model figures")
+		seed        = flag.Uint64("seed", 0, "override experiment seed")
+		logFormat   = flag.String("log", "text", "structured log format: text or json")
+		verbose     = flag.Bool("v", false, "log at debug level")
+		auditPath   = flag.String("audit", "", "append per-request NDJSON audit rows to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. :6060)")
+		loadgen     = flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
+		fig         = flag.String("fig", "2", "loadgen: figure ID to request")
+		conc        = flag.Int("c", 32, "loadgen: concurrent workers")
+		dur         = flag.Duration("dur", 3*time.Second, "loadgen: run duration")
+		dumpMetrics = flag.Bool("dump-metrics", false, "loadgen: print the final /metrics page after the run")
 	)
 	var mounts []mountFlag
 	flag.Func("mount", "timeline mount as name=full.tl[,view.tl] (repeatable)", func(v string) error {
@@ -70,6 +89,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
@@ -79,41 +104,90 @@ func main() {
 	}
 	cfg.Workers = *workers
 
-	srv := sanserve.New(sanserve.Options{
+	var auditFile *os.File
+	opts := sanserve.Options{
 		Cfg:           cfg,
 		CacheEntries:  *cache,
 		SnapCacheDays: *snapcache,
-	})
+		Logger:        logger,
+	}
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("opening audit sink", "err", err)
+			os.Exit(1)
+		}
+		auditFile = f
+		opts.AuditSink = f
+	}
+
+	srv := sanserve.New(opts)
 	if *workspace != "" {
 		if err := srv.MountWorkspace(*workspace); err != nil {
-			log.Fatalf("sanserve: %v", err)
+			logger.Error("mounting workspace", "workspace", *workspace, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("mounted scenario workspace %s", *workspace)
+		logger.Info("mounted scenario workspace", "workspace", *workspace)
 	}
 	for _, m := range mounts {
 		if err := srv.MountFiles(m.name, m.full, m.view); err != nil {
-			log.Fatalf("sanserve: %v", err)
+			logger.Error("mounting timeline", "name", m.name, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("mounted %q from %s (view: %s)", m.name, m.full, orSame(m.view))
+		logger.Info("mounted timeline", "name", m.name, "full", m.full, "view", orSame(m.view))
+	}
+
+	// close drains the analytics pipeline and syncs the audit file;
+	// both exits (loadgen and serving) go through it.
+	closeAll := func() {
+		srv.Close()
+		if auditFile != nil {
+			auditFile.Close()
+		}
 	}
 
 	if *loadgen {
 		if len(mounts) == 0 {
-			log.Fatalf("sanserve: loadgen needs an explicit -mount")
+			logger.Error("loadgen needs an explicit -mount")
+			os.Exit(1)
 		}
 		path := fmt.Sprintf("/v1/figures/%s?timeline=%s", *fig, mounts[0].name)
-		log.Printf("loadgen: warming %s and driving %d workers for %v", path, *conc, *dur)
+		logger.Info("loadgen starting", "path", path, "workers", *conc, "duration", *dur)
 		report := sanserve.LoadGen(srv.Handler(), path, *conc, *dur)
 		fmt.Println(report)
+		if *dumpMetrics {
+			srv.Analytics().Drain()
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			fmt.Print(rec.Body.String())
+		}
+		closeAll()
 		if report.Errors > 0 {
 			os.Exit(1)
 		}
 		return
 	}
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener so profiling endpoints
+		// are never reachable through the public API address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(srv.Handler()),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -121,21 +195,25 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
-		log.Fatalf("sanserve: %v", err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down (draining in-flight requests)")
+	logger.Info("shutting down, draining in-flight requests")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("sanserve: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
-	log.Printf("bye")
+	closeAll()
+	logger.Info("bye",
+		"analytics_recorded", srv.Analytics().Recorded(),
+		"analytics_dropped", srv.Analytics().Dropped())
 }
 
 func orSame(view string) string {
@@ -143,13 +221,4 @@ func orSame(view string) string {
 		return "same file"
 	}
 	return view
-}
-
-// logRequests is a minimal access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.RequestURI(), time.Since(t0).Round(time.Microsecond))
-	})
 }

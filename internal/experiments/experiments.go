@@ -24,6 +24,7 @@ import (
 	"repro/internal/gplus"
 	"repro/internal/hll"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/snapstore"
 	"repro/internal/stats"
@@ -51,6 +52,14 @@ type Config struct {
 	// path is retained as the reference implementation for equivalence
 	// tests and benchmarks.
 	Recompute bool
+
+	// Progress, when set, receives day-by-day counts from dataset
+	// builds: simulation days from the instrumented gplus run, and
+	// folded measurement days from the incremental walk.  Serving
+	// layers expose the same counters as gauges (sanserve_sim_*), so a
+	// first-touch dataset build is observable while it runs.  Purely
+	// observational: it never changes what is measured.
+	Progress *obs.Progress
 }
 
 // DefaultConfig is the full experiment scale (~20k users).
@@ -227,6 +236,10 @@ func buildSimDataset(ds *Dataset) {
 	gcfg.Record = &trace.Trace{}
 	gcfg.RecordObserved = true
 	sim := gplus.New(gcfg)
+	if cfg.Progress != nil {
+		sim.Progress = cfg.Progress
+		cfg.Progress.AddTotalDays(gcfg.Days)
+	}
 	ds.sim, ds.tr = sim, gcfg.Record
 
 	// Pass 1: simulate once, emitting the packed snapshot timelines
@@ -313,6 +326,9 @@ func measureTimelinesFold(ds *Dataset) {
 	}
 	ds.days = make([]DayMetrics, numDays)
 	half, last := halfDay(numDays), numDays-1
+	if ds.Cfg.Progress != nil {
+		ds.Cfg.Progress.AddTotalDays(numDays)
+	}
 
 	soc := metrics.NewSocialDegreeAccum()
 	att := metrics.NewAttrDegreeAccum()
@@ -347,6 +363,12 @@ func measureTimelinesFold(ds *Dataset) {
 		m.MuAttrDeg, m.SigmaAttrDeg = stats.LogMomentsHist(att.User.Counts())
 		m.AlphaAttrSocial = stats.FitPowerLawHist(att.Attr.Counts(), 1).Alpha
 		ds.days[day] = m
+		if p := ds.Cfg.Progress; p != nil {
+			p.AddDays(1)
+			p.AddNodes(fd.NewSocial)
+			p.AddLinks(len(fd.SocialEdges))
+			p.AddDeltas(len(deltas))
+		}
 
 		// Capture the figure snapshots in passing (simulation-backed
 		// datasets have already recorded their own).  The final-day

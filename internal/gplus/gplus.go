@@ -32,6 +32,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -292,6 +293,13 @@ type Simulator struct {
 	G   *san.SAN
 	Rng *rand.Rand
 
+	// Progress, when set before Run, receives per-day growth counts
+	// (days/nodes/links; RunTimelines adds packed-delta counts), so
+	// long runs are observable while they execute.  It is not part of
+	// Config: it carries no simulation semantics and never affects the
+	// config digest or the output.
+	Progress *obs.Progress
+
 	attacher *core.Attacher
 	catalog  *catalog
 	scr      *Scratch
@@ -357,6 +365,7 @@ func NewWithScratch(cfg Config, sc *Scratch) *Simulator {
 // Run simulates all configured days; perDay (optional) observes the
 // network at the end of each day, mirroring the daily crawl snapshots.
 func (s *Simulator) Run(perDay func(day int, g *san.SAN)) *san.SAN {
+	prevNodes, prevLinks := s.G.NumSocial(), s.G.NumSocialEdges()
 	for day := 1; day <= s.Cfg.Days; day++ {
 		s.day = day
 		arrivals := s.Cfg.ArrivalsOn(day)
@@ -366,6 +375,13 @@ func (s *Simulator) Run(perDay func(day int, g *san.SAN)) *san.SAN {
 			s.arrive(t)
 		}
 		s.advanceTo(float64(day))
+		if s.Progress != nil {
+			nodes, links := s.G.NumSocial(), s.G.NumSocialEdges()
+			s.Progress.AddDays(1)
+			s.Progress.AddNodes(nodes - prevNodes)
+			s.Progress.AddLinks(links - prevLinks)
+			prevNodes, prevLinks = nodes, links
+		}
 		if perDay != nil {
 			perDay(day, s.G)
 		}

@@ -20,6 +20,7 @@ import (
 func (s *Simulator) RunTimelines(perDay func(day int, full, view *san.SAN)) (full, view *snapstore.Timeline, err error) {
 	fb, vb := snapstore.NewBuilder(), snapstore.NewBuilder()
 	var buildErr error
+	packedBytes := 0
 	s.Run(func(day int, g *san.SAN) {
 		if buildErr != nil {
 			return
@@ -32,6 +33,12 @@ func (s *Simulator) RunTimelines(perDay func(day int, full, view *san.SAN)) (ful
 		if err := vb.Append(v); err != nil {
 			buildErr = err
 			return
+		}
+		if s.Progress != nil {
+			now := fb.PackedBytes() + vb.PackedBytes()
+			s.Progress.AddDeltas(2)
+			s.Progress.AddBytes(now - packedBytes)
+			packedBytes = now
 		}
 		if perDay != nil {
 			perDay(day, g, v)

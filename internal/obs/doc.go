@@ -1,0 +1,29 @@
+// Package obs is the observability spine of the reproduction: the
+// shared instrumentation layer every other subsystem reports through.
+//
+// It provides three independent pieces, designed to stay off the hot
+// paths they observe:
+//
+//   - Histogram and Registry: a lock-free latency histogram (fixed
+//     log-spaced buckets, atomic counters) and a small metric registry
+//     that renders the Prometheus text exposition format.  Counters
+//     and gauges are registered as read callbacks, so existing atomic
+//     counters anywhere in the program fold into one /metrics page
+//     without being rewritten.
+//
+//   - Recorder: an asynchronous per-request analytics pipeline.  The
+//     request path hands an Audit row to a non-blocking bounded
+//     channel (overflow increments an explicit drop counter — the
+//     request is never stalled by its own telemetry); a background
+//     worker folds rows into per-endpoint histograms and an optional
+//     NDJSON audit sink, with a forced-flush interval and a graceful
+//     drain on shutdown.
+//
+//   - Progress and Span: simulation/build progress tracking.  A
+//     Progress is a set of shared additive counters (days, nodes,
+//     links, deltas, bytes) that long-running producers bump as they
+//     work; an optional ticker goroutine renders periodic snapshots
+//     (with ETA) for humans, and serving layers read the same counters
+//     as gauges.  A Span is a minimal timed region logged through
+//     log/slog.
+package obs

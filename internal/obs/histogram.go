@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets.  Bounds are
+// log-spaced powers of two microseconds: 1µs, 2µs, 4µs, ... up to
+// ~134s, which brackets everything from a cache-hit byte copy to a
+// cold multi-minute dataset build.  Observations beyond the last
+// finite bound land in the overflow (+Inf) bucket.
+const NumBuckets = 28
+
+// bucketBound[i] is the inclusive upper bound of bucket i, in seconds.
+var bucketBound = func() [NumBuckets]float64 {
+	var b [NumBuckets]float64
+	for i := range b {
+		b[i] = float64(uint64(1)<<i) * 1e-6
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// use without locks: every Observe is two atomic adds.  The zero
+// value is ready to use.
+type Histogram struct {
+	counts [NumBuckets + 1]atomic.Uint64 // last slot is the +Inf bucket
+	count  atomic.Uint64
+	sumNS  atomic.Uint64 // total observed time in nanoseconds
+}
+
+// bucketIdx maps a duration to its bucket: the smallest i with
+// d <= 2^i microseconds, or the overflow slot.
+func bucketIdx(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(us - 1)
+	if i >= NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIdx(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNS.Load()) / 1e9 }
+
+// Snapshot returns a point-in-time copy of the per-bucket counts
+// (finite buckets first, overflow last).  Concurrent Observes may be
+// partially visible; each bucket value is individually consistent.
+func (h *Histogram) Snapshot() [NumBuckets + 1]uint64 {
+	var s [NumBuckets + 1]uint64
+	for i := range h.counts {
+		s[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th latency quantile (q in [0,1]) in
+// seconds by linear interpolation inside the holding bucket.  With no
+// samples it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := h.Snapshot()
+	var total uint64
+	for _, c := range s {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range s {
+		if c == 0 {
+			continue
+		}
+		if rank < cum+c {
+			if i >= NumBuckets {
+				// Overflow bucket: report the last finite bound (a
+				// floor, but honest about being off the scale).
+				return bucketBound[NumBuckets-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bucketBound[i-1]
+			}
+			hi := bucketBound[i]
+			frac := (float64(rank-cum) + 0.5) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return bucketBound[NumBuckets-1]
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// NewLogger builds the structured logger the services share: a
+// log/slog JSON or text handler at the given level.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// Request IDs are a process-unique prefix plus a counter: cheap to
+// mint (one atomic add, one append-formatted integer — this runs on
+// the request path) and unique enough to grep one request across the
+// access log and the audit NDJSON.
+var (
+	reqPrefix  = fmt.Sprintf("%x-%04x-", time.Now().UnixNano()&0xffffff, os.Getpid()&0xffff)
+	reqCounter atomic.Uint64
+)
+
+// NewRequestID mints the next request ID.
+func NewRequestID() string {
+	buf := make([]byte, 0, len(reqPrefix)+8)
+	buf = append(buf, reqPrefix...)
+	n := reqCounter.Add(1)
+	// Zero-pad to six digits so IDs sort and align in logs.
+	for pad := uint64(100000); pad > 1 && n < pad; pad /= 10 {
+		buf = append(buf, '0')
+	}
+	buf = strconv.AppendUint(buf, n, 10)
+	return string(buf)
+}
+
+// Span is a minimal timed region: start it around a mount, a dataset
+// build, or a sweep, End it to log the duration.  A nil logger makes
+// the span a pure timer.
+type Span struct {
+	name   string
+	logger *slog.Logger
+	start  time.Time
+	attrs  []any
+}
+
+// StartSpan begins a timed region; attrs are alternating slog
+// key/value pairs attached to the completion log line.
+func StartSpan(logger *slog.Logger, name string, attrs ...any) *Span {
+	return &Span{name: name, logger: logger, start: time.Now(), attrs: attrs}
+}
+
+// End completes the span, logs it (level Info) and returns its
+// duration.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.logger != nil {
+		args := append([]any{"span", s.name, "duration", d.Round(time.Microsecond)}, s.attrs...)
+		s.logger.Info("span done", args...)
+	}
+	return d
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 samples at 1ms, 10 at 100ms: p50 must land in the 1ms
+	// region, p99 in the 100ms region.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("count = %d, want 110", h.Count())
+	}
+	wantSum := 100*0.001 + 10*0.1
+	if got := h.Sum(); got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Fatalf("sum = %g, want ~%g", got, wantSum)
+	}
+	if p50 := h.Quantile(0.50); p50 < 0.0005 || p50 > 0.002 {
+		t.Errorf("p50 = %g, want ~1ms", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 0.05 || p99 > 0.2 {
+		t.Errorf("p99 = %g, want ~100ms", p99)
+	}
+	// Quantiles of an empty histogram are 0, not NaN.
+	var empty Histogram
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g", q)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Hour, NumBuckets}, // overflow
+	} {
+		if got := bucketIdx(tc.d); got != tc.want {
+			t.Errorf("bucketIdx(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+	// Overflow observations still count and keep quantiles finite.
+	var h Histogram
+	h.Observe(time.Hour)
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Errorf("overflow quantile = %g", q)
+	}
+}
+
+// expositionLine matches the Prometheus text format: a metric name,
+// an optional label set, and a float value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? ` +
+		`(NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$`)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	var n uint64 = 42
+	r.Counter("test_total", nil, func() uint64 { return n })
+	r.Gauge("test_gauge", Labels{"b": "2", "a": "1"}, func() float64 { return 0.25 })
+	h := r.Histogram("test_seconds", Labels{"endpoint": "x"})
+	h.Observe(3 * time.Millisecond)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"test_total 42\n",
+		`test_gauge{a="1",b="2"} 0.25` + "\n",
+		`test_seconds_bucket{endpoint="x",le="+Inf"} 1` + "\n",
+		`test_seconds_count{endpoint="x"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for sc := bufio.NewScanner(strings.NewReader(out)); sc.Scan(); {
+		if line := sc.Text(); !expositionLine.MatchString(line) {
+			t.Errorf("line does not match exposition grammar: %q", line)
+		}
+	}
+	// Histogram buckets are cumulative and end at the count.
+	if !strings.Contains(out, `test_seconds_bucket{endpoint="x",le="0.004096"} 1`) {
+		t.Errorf("cumulative bucket missing:\n%s", out)
+	}
+}
+
+// blockingWriter blocks every Write until released, simulating a
+// stalled audit sink.
+type blockingWriter struct {
+	release chan struct{}
+	wrote   chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingWriter) Write(p []byte) (int, error) {
+	b.once.Do(func() { close(b.wrote) })
+	<-b.release
+	return len(p), nil
+}
+
+// TestRecorderNeverBlocks is the overload proof: with a buffer of 1
+// and a sink wedged mid-write, Record must return immediately for
+// every call and count the overflow as drops.
+func TestRecorderNeverBlocks(t *testing.T) {
+	bw := &blockingWriter{release: make(chan struct{}), wrote: make(chan struct{})}
+	r := NewRecorder(RecorderOptions{
+		Buffer: 1,
+		// A tiny flush interval forces the worker into the stalled
+		// sink almost immediately.
+		FlushInterval: time.Millisecond,
+		Sink:          bw,
+	})
+	// Wedge the worker: one row, then wait for it to enter Write.
+	r.Record(Audit{Endpoint: "x", LatencyUS: 5})
+	<-bw.wrote
+
+	const burst = 1000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < burst; i++ {
+			r.Record(Audit{Endpoint: "x", LatencyUS: 5})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Record blocked under overload")
+	}
+	if d := r.Dropped(); d == 0 {
+		t.Fatal("overload produced no drops")
+	} else if d > burst {
+		t.Fatalf("dropped %d > %d recorded", d, burst)
+	}
+	close(bw.release)
+	r.Close()
+	if rec, d := r.Recorded(), r.Dropped(); rec+d < burst+1 {
+		t.Errorf("recorded %d + dropped %d < %d sent", rec, d, burst+1)
+	}
+}
+
+func TestRecorderSinkAndHistograms(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	var seen []string
+	r := NewRecorder(RecorderOptions{
+		Sink:          &buf,
+		Registry:      reg,
+		HistogramName: "req_seconds",
+		OnEndpoint:    func(ep string, h *Histogram) { seen = append(seen, ep) },
+	})
+	r.Record(Audit{Endpoint: "figures", Figure: "2", Status: 200, CacheHit: true, LatencyUS: 120})
+	r.Record(Audit{Endpoint: "figures", Figure: "4", Status: 200, LatencyUS: 80})
+	r.Record(Audit{Endpoint: "healthz", Status: 200, LatencyUS: 3})
+	r.Drain()
+
+	if got := r.Recorded(); got != 3 {
+		t.Fatalf("recorded = %d, want 3", got)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sink rows = %d, want 3: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"figure":"2"`) || !strings.Contains(lines[0], `"cache_hit":true`) {
+		t.Errorf("first NDJSON row: %s", lines[0])
+	}
+	if h := r.EndpointHistogram("figures"); h == nil || h.Count() != 2 {
+		t.Fatalf("figures histogram: %+v", h)
+	}
+	if len(seen) != 2 {
+		t.Errorf("OnEndpoint calls: %v", seen)
+	}
+	var out bytes.Buffer
+	reg.WritePrometheus(&out)
+	if !strings.Contains(out.String(), `req_seconds_count{endpoint="figures"} 2`) {
+		t.Errorf("registry missing recorder histogram:\n%s", out.String())
+	}
+	r.Close()
+	// Close is idempotent; Record after Close drops.
+	r.Close()
+	if r.Record(Audit{Endpoint: "late"}) {
+		t.Error("Record accepted after Close")
+	}
+}
+
+func TestProgressSnapshotAndTicker(t *testing.T) {
+	p := NewProgress("test-run")
+	p.AddTotalDays(100)
+	p.AddDays(25)
+	p.AddNodes(500)
+	p.AddLinks(4000)
+	p.AddDeltas(50)
+	p.AddBytes(2048)
+	s := p.Snapshot()
+	if s.Days != 25 || s.TotalDays != 100 || s.Links != 4000 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if s.ETA < 0 {
+		t.Fatalf("ETA not derived: %+v", s)
+	}
+	// ETA extrapolates ~3x the elapsed time (75 of 100 days remain).
+	if s.ETA < s.Elapsed {
+		t.Errorf("ETA %v < elapsed %v with 75%% remaining", s.ETA, s.Elapsed)
+	}
+	line := s.String()
+	for _, want := range []string{"test-run", "25/100 days", "4000 links", "ETA"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line missing %q: %s", want, line)
+		}
+	}
+
+	var mu sync.Mutex
+	var emitted []ProgressSnapshot
+	stop := p.Tick(time.Millisecond, func(s ProgressSnapshot) {
+		mu.Lock()
+		emitted = append(emitted, s)
+		mu.Unlock()
+	})
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	n := len(emitted)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("ticker emitted nothing")
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Fatalf("request IDs: %q %q", a, b)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "text", -8)
+	sp := StartSpan(logger, "mount", "name", "gplus")
+	if d := sp.End(); d < 0 {
+		t.Fatalf("span duration %v", d)
+	}
+	if out := buf.String(); !strings.Contains(out, "span=mount") || !strings.Contains(out, "name=gplus") {
+		t.Errorf("span log: %s", out)
+	}
+	// nil logger: pure timer.
+	if d := StartSpan(nil, "quiet").End(); d < 0 {
+		t.Fatal("nil-logger span")
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks a long-running simulation or dataset build through
+// shared additive counters.  Producers (simulator day loops, timeline
+// packers, fold walks) bump it from their hot loops — every Add is
+// one atomic op — while consumers read consistent snapshots: a ticker
+// renders periodic human lines with an ETA, and serving layers expose
+// the same counters as gauges.  One Progress may be shared by many
+// concurrent producers (the sweep runner gives all workers one).
+type Progress struct {
+	label string
+	start time.Time
+
+	totalDays atomic.Int64
+	days      atomic.Int64
+	nodes     atomic.Int64
+	links     atomic.Int64
+	deltas    atomic.Int64
+	bytes     atomic.Int64
+}
+
+// NewProgress returns a Progress starting its clock now.
+func NewProgress(label string) *Progress {
+	return &Progress{label: label, start: time.Now()}
+}
+
+// AddTotalDays grows the expected day count (each producer announces
+// its share, so a sweep's total is the sum over scenarios).
+func (p *Progress) AddTotalDays(n int) { p.totalDays.Add(int64(n)) }
+
+// AddDays records n simulated (or folded) days.
+func (p *Progress) AddDays(n int) { p.days.Add(int64(n)) }
+
+// AddNodes records n new social nodes.
+func (p *Progress) AddNodes(n int) { p.nodes.Add(int64(n)) }
+
+// AddLinks records n new social links.
+func (p *Progress) AddLinks(n int) { p.links.Add(int64(n)) }
+
+// AddDeltas records n packed day-deltas.
+func (p *Progress) AddDeltas(n int) { p.deltas.Add(int64(n)) }
+
+// AddBytes records n packed output bytes.
+func (p *Progress) AddBytes(n int) { p.bytes.Add(int64(n)) }
+
+// Days returns the days counter (gauge read).
+func (p *Progress) Days() int64 { return p.days.Load() }
+
+// Nodes returns the nodes counter (gauge read).
+func (p *Progress) Nodes() int64 { return p.nodes.Load() }
+
+// Links returns the links counter (gauge read).
+func (p *Progress) Links() int64 { return p.links.Load() }
+
+// Deltas returns the packed-delta counter (gauge read).
+func (p *Progress) Deltas() int64 { return p.deltas.Load() }
+
+// Bytes returns the packed-bytes counter (gauge read).
+func (p *Progress) Bytes() int64 { return p.bytes.Load() }
+
+// ProgressSnapshot is one consistent-enough reading of the counters.
+type ProgressSnapshot struct {
+	Label     string
+	Elapsed   time.Duration
+	Days      int64
+	TotalDays int64
+	Nodes     int64
+	Links     int64
+	Deltas    int64
+	Bytes     int64
+	// ETA extrapolates the remaining days from the per-day pace so
+	// far; it is negative when no pace is established yet.
+	ETA time.Duration
+}
+
+// Snapshot reads the counters and derives elapsed time and ETA.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	s := ProgressSnapshot{
+		Label:     p.label,
+		Elapsed:   time.Since(p.start),
+		Days:      p.days.Load(),
+		TotalDays: p.totalDays.Load(),
+		Nodes:     p.nodes.Load(),
+		Links:     p.links.Load(),
+		Deltas:    p.deltas.Load(),
+		Bytes:     p.bytes.Load(),
+		ETA:       -1,
+	}
+	if s.Days > 0 && s.TotalDays > s.Days {
+		perDay := s.Elapsed / time.Duration(s.Days)
+		s.ETA = perDay * time.Duration(s.TotalDays-s.Days)
+	} else if s.TotalDays > 0 && s.Days >= s.TotalDays {
+		s.ETA = 0
+	}
+	return s
+}
+
+func (s ProgressSnapshot) String() string {
+	line := fmt.Sprintf("%s: %d", s.Label, s.Days)
+	if s.TotalDays > 0 {
+		line += fmt.Sprintf("/%d", s.TotalDays)
+	}
+	line += fmt.Sprintf(" days, %d nodes, %d links", s.Nodes, s.Links)
+	if s.Deltas > 0 {
+		line += fmt.Sprintf(", %d deltas (%.1f KiB)", s.Deltas, float64(s.Bytes)/1024)
+	}
+	line += fmt.Sprintf(", elapsed %s", s.Elapsed.Round(time.Millisecond))
+	if s.ETA >= 0 {
+		line += fmt.Sprintf(", ETA %s", s.ETA.Round(time.Second))
+	}
+	return line
+}
+
+// Tick starts a goroutine emitting a snapshot every interval, and
+// returns a stop function that emits one final snapshot and stops the
+// ticker.  Stop is idempotent and safe to call concurrently.
+func (p *Progress) Tick(interval time.Duration, emit func(ProgressSnapshot)) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	stopc := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				emit(p.Snapshot())
+			case <-stopc:
+				emit(p.Snapshot())
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopc) })
+		<-done
+	}
+}

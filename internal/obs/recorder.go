@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Audit is one per-request analytics row.
+type Audit struct {
+	Time      time.Time `json:"time"`
+	RequestID string    `json:"request_id,omitempty"`
+	Endpoint  string    `json:"endpoint"`
+	Method    string    `json:"method,omitempty"`
+	Path      string    `json:"path,omitempty"`
+	Figure    string    `json:"figure,omitempty"`
+	Scenario  string    `json:"scenario,omitempty"`
+	DayRange  string    `json:"day_range,omitempty"`
+	CacheHit  bool      `json:"cache_hit"`
+	Status    int       `json:"status"`
+	LatencyUS int64     `json:"latency_us"`
+}
+
+// RecorderOptions configures a Recorder.
+type RecorderOptions struct {
+	// Buffer bounds the pending-row channel (default 1024).  When the
+	// worker falls behind, Record drops rows instead of blocking.
+	Buffer int
+
+	// FlushInterval forces a periodic sink flush even when no new rows
+	// arrive (default 1s), so a quiet audit log still converges.
+	FlushInterval time.Duration
+
+	// Sink, when non-nil, receives one NDJSON row per recorded Audit.
+	// Writes happen only on the worker goroutine, buffered.
+	Sink io.Writer
+
+	// Registry, when non-nil, receives one latency histogram per
+	// distinct endpoint, registered as HistogramName{endpoint="..."}.
+	Registry      *Registry
+	HistogramName string
+
+	// OnEndpoint, when non-nil, is called (from the worker) the first
+	// time an endpoint is seen, with its freshly created histogram —
+	// the hook serving layers use to register quantile gauges.
+	OnEndpoint func(endpoint string, h *Histogram)
+}
+
+// Recorder is the asynchronous analytics pipeline: Record hands a row
+// to a bounded channel and returns immediately; a background worker
+// folds rows into per-endpoint histograms and the optional NDJSON
+// sink.  The request path is never blocked by its own telemetry —
+// overflow is counted, not waited out.
+type Recorder struct {
+	opts RecorderOptions
+
+	ch       chan Audit
+	recorded atomic.Uint64
+	dropped  atomic.Uint64
+
+	mu    sync.RWMutex
+	hists map[string]*Histogram
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	stopc     chan struct{}
+	syncc     chan chan struct{}
+	done      chan struct{}
+
+	sink *bufio.Writer
+	enc  *json.Encoder
+}
+
+// NewRecorder starts the worker goroutine and returns the pipeline.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = time.Second
+	}
+	r := &Recorder{
+		opts:  opts,
+		ch:    make(chan Audit, opts.Buffer),
+		hists: make(map[string]*Histogram),
+		stopc: make(chan struct{}),
+		syncc: make(chan chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if opts.Sink != nil {
+		r.sink = bufio.NewWriter(opts.Sink)
+		r.enc = json.NewEncoder(r.sink)
+	}
+	go r.run()
+	return r
+}
+
+// Record enqueues one row.  It never blocks: when the buffer is full
+// (or the recorder is closed) the row is dropped and counted.  The
+// returned bool reports whether the row was accepted.
+//
+// Without a sink there is nothing to serialize, so the row folds
+// inline — the histogram is lock-free atomics, cheaper than the
+// channel hop and immune to worker backlog (no row can ever drop).
+// The channel pipeline engages only when NDJSON rows must reach the
+// sink from a single goroutine.
+func (r *Recorder) Record(a Audit) bool {
+	if r.closed.Load() {
+		r.dropped.Add(1)
+		return false
+	}
+	if r.sink == nil {
+		r.fold(a)
+		return true
+	}
+	select {
+	case r.ch <- a:
+		return true
+	default:
+		r.dropped.Add(1)
+		return false
+	}
+}
+
+// Recorded returns the number of rows folded.
+func (r *Recorder) Recorded() uint64 { return r.recorded.Load() }
+
+// Dropped returns the number of rows rejected by the bounded buffer.
+func (r *Recorder) Dropped() uint64 { return r.dropped.Load() }
+
+// EndpointHistogram returns the latency histogram of one endpoint
+// (nil before its first recorded row).
+func (r *Recorder) EndpointHistogram(endpoint string) *Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hists[endpoint]
+}
+
+// Drain blocks until every row enqueued before the call is folded and
+// the sink is flushed.  It is the test/shutdown synchronization point;
+// the request path never calls it.
+func (r *Recorder) Drain() {
+	reply := make(chan struct{})
+	select {
+	case r.syncc <- reply:
+		<-reply
+	case <-r.done:
+	}
+}
+
+// Close drains pending rows, flushes the sink, and stops the worker.
+// Record calls after Close count as drops.  Close is idempotent.
+func (r *Recorder) Close() {
+	r.closeOnce.Do(func() {
+		r.closed.Store(true)
+		close(r.stopc)
+	})
+	<-r.done
+}
+
+func (r *Recorder) run() {
+	defer close(r.done)
+	tick := time.NewTicker(r.opts.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case a := <-r.ch:
+			r.fold(a)
+		case <-tick.C:
+			r.flush()
+		case reply := <-r.syncc:
+			r.drainPending()
+			r.flush()
+			close(reply)
+		case <-r.stopc:
+			r.drainPending()
+			r.flush()
+			return
+		}
+	}
+}
+
+// drainPending folds every row already in the channel without
+// waiting for more.
+func (r *Recorder) drainPending() {
+	for {
+		select {
+		case a := <-r.ch:
+			r.fold(a)
+		default:
+			return
+		}
+	}
+}
+
+func (r *Recorder) fold(a Audit) {
+	r.recorded.Add(1)
+	r.histFor(a.Endpoint).Observe(time.Duration(a.LatencyUS) * time.Microsecond)
+	if r.enc != nil {
+		// An encode error (sink gone) is recorded once per row in the
+		// drop counter; analytics must never take the server down.
+		if err := r.enc.Encode(a); err != nil {
+			r.dropped.Add(1)
+		}
+	}
+}
+
+func (r *Recorder) histFor(endpoint string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[endpoint]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	if h = r.hists[endpoint]; h == nil {
+		if r.opts.Registry != nil && r.opts.HistogramName != "" {
+			h = r.opts.Registry.Histogram(r.opts.HistogramName, Labels{"endpoint": endpoint})
+		} else {
+			h = &Histogram{}
+		}
+		r.hists[endpoint] = h
+		if r.opts.OnEndpoint != nil {
+			r.opts.OnEndpoint(endpoint, h)
+		}
+	}
+	r.mu.Unlock()
+	return h
+}
+
+func (r *Recorder) flush() {
+	if r.sink != nil {
+		r.sink.Flush()
+	}
+}

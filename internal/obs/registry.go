@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels are the label pairs of one metric series.  Rendered output
+// sorts keys, so series identity is order-independent.
+type Labels map[string]string
+
+// renderLabels flattens labels into the canonical `{a="x",b="y"}`
+// form ("" for no labels).  extra, when non-empty, is appended last
+// as a pre-rendered pair (used for the histogram `le` label).
+func renderLabels(labels Labels, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extra != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered series: a name, rendered labels, and
+// exactly one of the three value sources.
+type metric struct {
+	name     string
+	labels   Labels
+	rendered string // cached renderLabels(labels, "")
+	kind     metricKind
+	counter  func() uint64
+	gauge    func() float64
+	hist     *Histogram
+}
+
+// Registry is a small metric registry rendering the Prometheus text
+// exposition format.  Values are read through callbacks at render
+// time, so existing atomic counters register without being rewritten
+// and rendering never holds any caller's lock across a network write.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(m *metric) {
+	m.rendered = renderLabels(m.labels, "")
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+}
+
+// Counter registers a monotone counter read via fn.
+func (r *Registry) Counter(name string, labels Labels, fn func() uint64) {
+	r.add(&metric{name: name, labels: labels, kind: kindCounter, counter: fn})
+}
+
+// Gauge registers a gauge read via fn.
+func (r *Registry) Gauge(name string, labels Labels, fn func() float64) {
+	r.add(&metric{name: name, labels: labels, kind: kindGauge, gauge: fn})
+}
+
+// Histogram registers (and returns) a new histogram series.  The
+// rendered output is the standard triplet: cumulative `name_bucket`
+// lines with `le` bounds, `name_sum`, and `name_count`.
+func (r *Registry) Histogram(name string, labels Labels) *Histogram {
+	h := &Histogram{}
+	r.add(&metric{name: name, labels: labels, kind: kindHistogram, hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered series in stable
+// (name, labels) order.  Callbacks run before their line is written;
+// no lock is held across a write to w.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return ms[i].rendered < ms[j].rendered
+	})
+	for _, m := range ms {
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, m.rendered, m.counter())
+		case kindGauge:
+			fmt.Fprintf(w, "%s%s %s\n", m.name, m.rendered, formatFloat(m.gauge()))
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			var cum uint64
+			for i := 0; i < NumBuckets; i++ {
+				cum += s[i]
+				le := fmt.Sprintf("le=%q", formatFloat(bucketBound[i]))
+				fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, le), cum)
+			}
+			cum += s[NumBuckets]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, `le="+Inf"`), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.rendered, formatFloat(m.hist.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.rendered, m.hist.Count())
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -9,7 +9,8 @@ import (
 	"time"
 )
 
-// LoadReport summarizes one load-generation run.
+// LoadReport summarizes one load-generation run: throughput plus the
+// latency percentiles computed from every recorded sample.
 type LoadReport struct {
 	Path        string
 	Concurrency int
@@ -17,6 +18,7 @@ type LoadReport struct {
 	Errors      int // non-2xx responses
 	Duration    time.Duration
 	P50         time.Duration
+	P95         time.Duration
 	P99         time.Duration
 }
 
@@ -29,8 +31,8 @@ func (r LoadReport) QPS() float64 {
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf("loadgen %s: %d requests, %d errors, %d workers, %.1fs -> %.0f req/s (p50 %v, p99 %v)",
-		r.Path, r.Requests, r.Errors, r.Concurrency, r.Duration.Seconds(), r.QPS(), r.P50, r.P99)
+	return fmt.Sprintf("loadgen %s: %d requests, %d errors, %d workers, %.1fs -> %.0f req/s (p50 %v, p95 %v, p99 %v)",
+		r.Path, r.Requests, r.Errors, r.Concurrency, r.Duration.Seconds(), r.QPS(), r.P50, r.P95, r.P99)
 }
 
 // LoadGen drives concurrency workers against one handler path for
@@ -98,6 +100,7 @@ func LoadGen(h http.Handler, path string, concurrency int, d time.Duration) Load
 		Errors:      errors,
 		Duration:    elapsed,
 		P50:         pct(0.50),
+		P95:         pct(0.95),
 		P99:         pct(0.99),
 	}
 }

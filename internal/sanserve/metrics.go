@@ -1,15 +1,16 @@
 package sanserve
 
 import (
-	"fmt"
 	"net/http"
-	"sort"
+	"strings"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/snapstore"
 )
 
-// serverMetrics are the service counters exported on /metrics.
+// serverMetrics are the request-path counters; they are registered
+// into the obs.Registry at construction and rendered on /metrics.
 type serverMetrics struct {
 	requests         atomic.Uint64
 	figureRequests   atomic.Uint64
@@ -21,40 +22,118 @@ type serverMetrics struct {
 	panics           atomic.Uint64
 }
 
-// handleMetrics writes the counters in the Prometheus text exposition
-// format (counters and gauges only; no client library dependency).
+// registerMetrics wires every server-level series into the registry.
+// Values are read through callbacks at render time, so /metrics is
+// always current and rendering never holds a server lock across a
+// network write.
+func (s *Server) registerMetrics() {
+	reg := s.reg
+	reg.Counter("sanserve_requests_total", nil, s.met.requests.Load)
+	reg.Counter("sanserve_figure_requests_total", nil, s.met.figureRequests.Load)
+	reg.Counter("sanserve_figure_errors_total", nil, s.met.figureErrors.Load)
+	reg.Counter("sanserve_compare_requests_total", nil, s.met.compareRequests.Load)
+	reg.Counter("sanserve_snapshot_requests_total", nil, s.met.snapshotRequests.Load)
+	reg.Counter("sanserve_result_cache_hits_total", nil, s.met.cacheHits.Load)
+	reg.Counter("sanserve_result_cache_misses_total", nil, s.met.cacheMisses.Load)
+	reg.Counter("sanserve_panics_total", nil, s.met.panics.Load)
+	reg.Gauge("sanserve_result_cache_entries", nil, func() float64 { return float64(s.cache.Len()) })
+	reg.Gauge("sanserve_timelines", nil, func() float64 {
+		s.mu.RLock()
+		n := len(s.mounts)
+		s.mu.RUnlock()
+		return float64(n)
+	})
+
+	// The async analytics pipeline: folded rows and the explicit
+	// overload drop counter (request recording never blocks).
+	reg.Counter("sanserve_analytics_recorded_total", nil, s.rec.Recorded)
+	reg.Counter("sanserve_analytics_dropped_total", nil, s.rec.Dropped)
+
+	// Simulation / dataset-build progress (the obs.Progress every
+	// mount's fold walk and any model simulation report through).
+	reg.Gauge("sanserve_sim_days_total", nil, func() float64 { return float64(s.simProg.Days()) })
+	reg.Gauge("sanserve_sim_nodes_total", nil, func() float64 { return float64(s.simProg.Nodes()) })
+	reg.Gauge("sanserve_sim_links_total", nil, func() float64 { return float64(s.simProg.Links()) })
+	reg.Gauge("sanserve_sim_deltas_total", nil, func() float64 { return float64(s.simProg.Deltas()) })
+	reg.Gauge("sanserve_sim_packed_bytes_total", nil, func() float64 { return float64(s.simProg.Bytes()) })
+}
+
+// registerQuantileGauges exports p50/p95/p99 summary gauges for one
+// endpoint's latency histogram; the Recorder calls it the first time
+// an endpoint appears in the audit stream.
+func (s *Server) registerQuantileGauges(endpoint string, h *obs.Histogram) {
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}} {
+		q := q
+		s.reg.Gauge("sanserve_request_latency_seconds",
+			obs.Labels{"endpoint": endpoint, "quantile": q.label},
+			func() float64 { return h.Quantile(q.q) })
+	}
+}
+
+// registerMountMetrics exports one mount's snapstore Store statistics.
+// The gauges capture the *Mount, not the mount table, so reading them
+// takes only each store's own short stat lock — never s.mu.
+func (s *Server) registerMountMetrics(m *Mount) {
+	for _, src := range []struct {
+		label string
+		store *snapstore.Store
+	}{{"full", m.fullStore}, {"view", m.viewStore}} {
+		labels := obs.Labels{"timeline": m.Name, "source": src.label}
+		store := src.store
+		s.reg.Counter("sanserve_store_hits_total", labels, func() uint64 { return store.Stats().Hits })
+		s.reg.Counter("sanserve_store_misses_total", labels, func() uint64 { return store.Stats().Misses })
+		s.reg.Counter("sanserve_store_evictions_total", labels, func() uint64 { return store.Stats().Evictions })
+		s.reg.Gauge("sanserve_store_cached_days", labels, func() float64 { return float64(store.CachedDays()) })
+	}
+}
+
+// handleMetrics renders the registry in the Prometheus text
+// exposition format.  All state is read through registered callbacks
+// (snapshotted value by value), so no server lock is ever held across
+// a write to the response.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	emit := func(name string, v uint64) {
-		fmt.Fprintf(w, "sanserve_%s %d\n", name, v)
-	}
-	emit("requests_total", s.met.requests.Load())
-	emit("figure_requests_total", s.met.figureRequests.Load())
-	emit("figure_errors_total", s.met.figureErrors.Load())
-	emit("compare_requests_total", s.met.compareRequests.Load())
-	emit("snapshot_requests_total", s.met.snapshotRequests.Load())
-	emit("result_cache_hits_total", s.met.cacheHits.Load())
-	emit("result_cache_misses_total", s.met.cacheMisses.Load())
-	emit("panics_total", s.met.panics.Load())
-	emit("result_cache_entries", uint64(s.cache.Len()))
+	s.reg.WritePrometheus(w)
+}
 
-	s.mu.RLock()
-	names := make([]string, 0, len(s.mounts))
-	for name := range s.mounts {
-		names = append(names, name)
+// endpointOf classifies a request path into the bounded endpoint label
+// set of the per-endpoint latency histograms, and extracts the figure
+// ID for audit rows where one is present.
+func endpointOf(path string) (endpoint, figure string) {
+	switch {
+	case path == "/healthz":
+		return "healthz", ""
+	case path == "/metrics":
+		return "metrics", ""
+	case path == "/v1/timelines":
+		return "timelines", ""
+	case path == "/v1/scenarios":
+		return "scenarios", ""
+	case strings.HasPrefix(path, "/v1/figures/"):
+		return "figures", path[len("/v1/figures/"):]
+	case strings.HasPrefix(path, "/v1/compare/"):
+		return "compare", path[len("/v1/compare/"):]
+	case path == "/v1/snapshots/stats":
+		return "stats_sweep", ""
+	case strings.HasPrefix(path, "/v1/snapshots/"):
+		return "snapshot_stats", ""
+	default:
+		return "other", ""
 	}
-	sort.Strings(names)
-	fmt.Fprintf(w, "sanserve_timelines %d\n", len(names))
-	for _, name := range names {
-		m := s.mounts[name]
-		emitStore := func(label string, st snapstore.StoreStats, cached int) {
-			fmt.Fprintf(w, "sanserve_store_hits_total{timeline=%q,source=%q} %d\n", name, label, st.Hits)
-			fmt.Fprintf(w, "sanserve_store_misses_total{timeline=%q,source=%q} %d\n", name, label, st.Misses)
-			fmt.Fprintf(w, "sanserve_store_evictions_total{timeline=%q,source=%q} %d\n", name, label, st.Evictions)
-			fmt.Fprintf(w, "sanserve_store_cached_days{timeline=%q,source=%q} %d\n", name, label, cached)
-		}
-		emitStore("full", m.fullStore.Stats(), m.fullStore.CachedDays())
-		emitStore("view", m.viewStore.Stats(), m.viewStore.CachedDays())
-	}
-	s.mu.RUnlock()
+}
+
+// statusWriter captures the response status for the access log and
+// audit row; an unset status means an implicit 200 from the first
+// Write.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }

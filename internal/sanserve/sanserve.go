@@ -37,13 +37,17 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/scenario"
 	"repro/internal/snapstore"
@@ -62,16 +66,37 @@ type Options struct {
 
 	// SnapCacheDays bounds each mount's snapstore LRU (default 8).
 	SnapCacheDays int
+
+	// Logger receives the structured access log and lifecycle events
+	// (default: discard).  Per-request lines log at Info with a
+	// request ID shared with the audit row.
+	Logger *slog.Logger
+
+	// AuditSink, when non-nil, receives one NDJSON audit row per
+	// request from the async Recorder (see cmd/sanserve -audit).
+	AuditSink io.Writer
+
+	// AnalyticsBuffer bounds the Recorder's pending-row channel
+	// (default 1024); overflow is dropped and counted, never waited
+	// out on the request path.
+	AnalyticsBuffer int
+
+	// FlushInterval forces periodic audit-sink flushes (default 1s).
+	FlushInterval time.Duration
 }
 
 // Server answers figure and snapshot queries for a set of mounted
 // timelines.  Mount before serving, or concurrently — the mount table
 // is lock-protected.
 type Server struct {
-	opts  Options
-	mux   *http.ServeMux
-	cache *resultCache
-	met   serverMetrics
+	opts    Options
+	mux     *http.ServeMux
+	cache   *resultCache
+	met     serverMetrics
+	reg     *obs.Registry
+	rec     *obs.Recorder
+	logger  *slog.Logger
+	simProg *obs.Progress
 
 	mu     sync.RWMutex
 	mounts map[string]*Mount
@@ -105,13 +130,33 @@ func New(opts Options) *Server {
 	if opts.SnapCacheDays <= 0 {
 		opts.SnapCacheDays = 8
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		opts:      opts,
 		mux:       http.NewServeMux(),
 		cache:     newResultCache(opts.CacheEntries),
+		reg:       obs.NewRegistry(),
+		logger:    logger,
+		simProg:   obs.NewProgress("sanserve-datasets"),
 		mounts:    map[string]*Mount{},
 		runFigure: experiments.RunOn,
 	}
+	// Dataset builds forced by this server (fold walks on first touch,
+	// model simulations) report through the shared progress counters,
+	// surfaced as sanserve_sim_* gauges.
+	s.opts.Cfg.Progress = s.simProg
+	s.rec = obs.NewRecorder(obs.RecorderOptions{
+		Buffer:        opts.AnalyticsBuffer,
+		FlushInterval: opts.FlushInterval,
+		Sink:          opts.AuditSink,
+		Registry:      s.reg,
+		HistogramName: "sanserve_request_duration_seconds",
+		OnEndpoint:    s.registerQuantileGauges,
+	})
+	s.registerMetrics()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/timelines", s.handleTimelines)
@@ -135,6 +180,7 @@ func (s *Server) mount(name string, full, view *snapstore.Timeline, run *scenari
 	if name == "" || strings.ContainsAny(name, " /?&=") {
 		return fmt.Errorf("sanserve: invalid mount name %q", name)
 	}
+	sp := obs.StartSpan(s.logger, "mount", "name", name)
 	if full == nil || full.NumDays() == 0 {
 		return fmt.Errorf("sanserve: mount %q: empty timeline", name)
 	}
@@ -163,11 +209,14 @@ func (s *Server) mount(name string, full, view *snapstore.Timeline, run *scenari
 		viewStore: snapstore.NewStore(view, s.opts.SnapCacheDays),
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.mounts[name]; ok {
+		s.mu.Unlock()
 		return fmt.Errorf("sanserve: mount %q already exists", name)
 	}
 	s.mounts[name] = m
+	s.mu.Unlock()
+	s.registerMountMetrics(m)
+	sp.End()
 	return nil
 }
 
@@ -187,19 +236,89 @@ func (s *Server) MountFiles(name, fullPath, viewPath string) error {
 }
 
 // Handler returns the service's HTTP handler: the API mux wrapped
-// with request counting and panic recovery (a decode failure deep in
-// a lazily-built dataset becomes a 500, not a crashed server).
+// with the observability middleware — request counting, panic
+// recovery (a decode failure deep in a lazily-built dataset becomes a
+// 500, not a crashed server), per-request audit recording through the
+// async Recorder (non-blocking: under overload rows are dropped and
+// counted, the request is never stalled), and the structured access
+// log.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
 		s.met.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
 			if v := recover(); v != nil {
 				s.met.panics.Add(1)
-				httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+				httpError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 			}
+			s.observe(r, sw, t0)
 		}()
-		s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(sw, r)
 	})
+}
+
+// observe emits one finished request into the analytics pipeline and
+// the access log.  It runs on the request path, so everything here is
+// cheap and nothing blocks: the Recorder send is buffered-or-dropped,
+// and a disabled logger short-circuits before formatting.
+func (s *Server) observe(r *http.Request, sw *statusWriter, t0 time.Time) {
+	latency := time.Since(t0)
+	endpoint, figure := endpointOf(r.URL.Path)
+	var dayRange, scenarioLbl string
+	if r.URL.RawQuery != "" {
+		q := r.URL.Query()
+		dayRange = q.Get("days")
+		if dayRange == "" {
+			dayRange = q.Get("day")
+		}
+		scenarioLbl = q.Get("timeline")
+		if scenarioLbl == "" {
+			scenarioLbl = q.Get("scenarios")
+		}
+	}
+	id := obs.NewRequestID()
+	s.rec.Record(obs.Audit{
+		Time:      t0,
+		RequestID: id,
+		Endpoint:  endpoint,
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Figure:    figure,
+		Scenario:  scenarioLbl,
+		DayRange:  dayRange,
+		CacheHit:  sw.Header().Get("X-Cache") == "hit",
+		Status:    sw.code,
+		LatencyUS: latency.Microseconds(),
+	})
+	if s.logger.Enabled(r.Context(), slog.LevelInfo) {
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.RequestURI()),
+			slog.Int("status", sw.code),
+			slog.Duration("latency", latency.Round(time.Microsecond)))
+	}
+}
+
+// Analytics exposes the async audit pipeline (tests drain it; the cmd
+// reports drop counts at shutdown).
+func (s *Server) Analytics() *obs.Recorder { return s.rec }
+
+// Registry exposes the metric registry so embedding processes can
+// register their own series onto this server's /metrics page.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SimProgress exposes the dataset-build progress counters backing the
+// sanserve_sim_* gauges.
+func (s *Server) SimProgress() *obs.Progress { return s.simProg }
+
+// Close drains the analytics pipeline (folding every accepted row and
+// flushing the audit sink) and stops its worker.  The HTTP listener
+// should be shut down first; requests recorded after Close count as
+// drops.
+func (s *Server) Close() {
+	s.rec.Close()
 }
 
 // mountFor resolves the ?timeline= parameter; with exactly one mount
@@ -346,7 +465,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json or gob)", format))
 		return
 	}
-	data, ctype, err := s.figureResult(m, id, lo, hi, format)
+	data, ctype, err, hit := s.figureResult(m, id, lo, hi, format)
 	if err != nil {
 		s.met.figureErrors.Add(1)
 		code := http.StatusInternalServerError
@@ -356,6 +475,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		}
 		httpError(w, code, err.Error())
 		return
+	}
+	// X-Cache feeds the audit row's cache_hit field and lets clients
+	// distinguish a byte-copy from a fresh figure computation.
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
 	}
 	w.Header().Set("Content-Type", ctype)
 	w.Write(data)
@@ -367,7 +493,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 // hit the same (timeline, figure, day-range, format) cache keys with
 // single-flight de-duplication, so a comparison warms the per-scenario
 // cache and vice versa.
-func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([]byte, string, error) {
+func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([]byte, string, error, bool) {
 	// A range spanning the whole timeline is the same query as no
 	// range at all; normalizing here keeps the clipping behavior fully
 	// determined by the cache key (lo, hi).
@@ -411,7 +537,7 @@ func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([
 	} else {
 		s.met.cacheMisses.Add(1)
 	}
-	return data, ctype, err
+	return data, ctype, err, hit
 }
 
 // statusError carries an HTTP status through the cache compute path.

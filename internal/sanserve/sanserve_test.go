@@ -347,7 +347,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"sanserve_figure_requests_total 2",
 		"sanserve_result_cache_hits_total 1",
 		"sanserve_result_cache_misses_total 1",
-		`sanserve_store_hits_total{timeline="gplus",source="full"}`,
+		"sanserve_analytics_dropped_total",
+		`sanserve_store_hits_total{source="full",timeline="gplus"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, body)

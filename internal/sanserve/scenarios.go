@@ -106,7 +106,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("scenario %q: %v", m.Name, err))
 			return
 		}
-		data, _, err := s.figureResult(m, id, lo, hi, "json")
+		data, _, err, _ := s.figureResult(m, id, lo, hi, "json")
 		if err != nil {
 			s.met.figureErrors.Add(1)
 			code := http.StatusInternalServerError

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/gplus"
+	"repro/internal/obs"
 	"repro/internal/snapstore"
 )
 
@@ -76,6 +77,11 @@ type Options struct {
 	Workers int
 	// Progress, when set, is called as each scenario finishes.
 	Progress func(Run)
+	// Obs, when set, receives live day-by-day counters from every
+	// worker's simulator (days simulated, nodes/links created, deltas
+	// packed) — the `sangen sweep -progress` ticker and sanserve's
+	// sanserve_sim_* gauges read it while the sweep runs.
+	Obs *obs.Progress
 }
 
 // Sweep simulates every requested scenario in parallel, packs each
@@ -116,6 +122,11 @@ func Sweep(opts Options) (*Manifest, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("scenario: creating workspace: %w", err)
 	}
+	if opts.Obs != nil {
+		for _, cfg := range cfgs {
+			opts.Obs.AddTotalDays(cfg.Days)
+		}
+	}
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -141,7 +152,7 @@ func Sweep(opts Options) (*Manifest, error) {
 			// scenario.  Arenas are never shared across workers.
 			scratch := gplus.NewScratch()
 			for i := range jobs {
-				run, err := runOne(opts.Dir, scens[i], cfgs[i], scratch)
+				run, err := runOne(opts.Dir, scens[i], cfgs[i], scratch, opts.Obs)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err)
@@ -174,9 +185,10 @@ func Sweep(opts Options) (*Manifest, error) {
 
 // runOne simulates a single scenario and packs its timelines, reusing
 // the worker's scratch arena across scenarios.
-func runOne(dir string, s Scenario, cfg gplus.Config, scratch *gplus.Scratch) (Run, error) {
+func runOne(dir string, s Scenario, cfg gplus.Config, scratch *gplus.Scratch, prog *obs.Progress) (Run, error) {
 	start := time.Now()
 	sim := gplus.NewWithScratch(cfg, scratch)
+	sim.Progress = prog
 	full, view, err := sim.RunTimelines(nil)
 	if err != nil {
 		return Run{}, fmt.Errorf("scenario %q: packing: %w", s.Name, err)

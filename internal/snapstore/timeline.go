@@ -210,3 +210,14 @@ func resizeTo(s []int32, n int) []int32 {
 func (b *Builder) Timeline() *Timeline {
 	return &Timeline{days: b.days[:len(b.days):len(b.days)]}
 }
+
+// PackedBytes reports the total encoded size of the days appended so
+// far; long-running packers read it between Appends to report
+// incremental output volume.
+func (b *Builder) PackedBytes() int {
+	n := 0
+	for _, d := range b.days {
+		n += len(d)
+	}
+	return n
+}
