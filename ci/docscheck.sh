@@ -30,9 +30,10 @@ done
 for dir in cmd/*/; do
   bin=$(basename "$dir")
   # Tokens like ` -flag` or `` `-flag `` on lines mentioning the
-  # binary; a letter before the dash (as in "delta-encoded") does not
-  # match, so prose hyphens are ignored.
-  flags=$(grep -h "$bin" $docs | grep -oE '(^|[ `(])-[a-z][a-z0-9]*' | tr -d ' `(' | sort -u)
+  # binary, including multi-word names like -max-builds; a letter
+  # before the dash (as in "delta-encoded") does not match, so prose
+  # hyphens are ignored.
+  flags=$(grep -h "$bin" $docs | grep -oE '(^|[ `(])-[a-z][a-z0-9]*(-[a-z0-9]+)*' | tr -d ' `(' | sort -u)
   for flagtok in $flags; do
     name=${flagtok#-}
     if ! grep -qE "\"$name\"" "$dir"*.go; then
@@ -45,7 +46,7 @@ done
 # --- 3: backtick-quoted flags anywhere in the docs ----------------
 # `-flag` spans are flag references even on lines that do not name
 # their binary; each must be defined by at least one cmd/ binary.
-for flagtok in $(grep -ohE '`-[a-z][a-z0-9]*`' $docs | tr -d '`' | sort -u); do
+for flagtok in $(grep -ohE '`-[a-z][a-z0-9]*(-[a-z0-9]+)*`' $docs | tr -d '`' | sort -u); do
   name=${flagtok#-}
   if ! grep -qE "\"$name\"" cmd/*/*.go; then
     echo "docscheck: docs mention flag -$name but no cmd/ binary defines it"

@@ -19,5 +19,6 @@ run() {
 run ./internal/san FuzzSANText
 run ./internal/snapstore FuzzDecodeSnapshot
 run ./internal/snapstore FuzzDecodeTimeline
+run ./internal/scenario FuzzManifest
 
 echo "fuzzsmoke: OK"

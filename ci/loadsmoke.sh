@@ -1,15 +1,21 @@
 #!/bin/sh
-# loadsmoke: end-to-end smoke of the observability stack.  Packs a
-# tiny timeline, runs the in-process load generator against it, and
-# asserts (1) the loadgen report prints latency percentiles up to p99
-# and (2) the final /metrics page exposes the analytics pipeline
-# counters and the per-endpoint request-duration histogram.
+# loadsmoke: end-to-end smoke of the observability stack, in two
+# phases.  Phase 1 packs a tiny timeline, runs the in-process load
+# generator against it, and asserts (1) the loadgen report prints
+# latency percentiles up to p99 and (2) the final /metrics page
+# exposes the analytics pipeline counters and the per-endpoint
+# request-duration histogram.  Phase 2 is the shed-under-overload
+# smoke: a sweep workspace served with build concurrency 1 under a
+# mixed cached/cold load must shed at least one cold request (429 +
+# Retry-After, sanserve_shed_total > 0) while the cached path's p99
+# stays under a fixed bound.
 #
 # Run from the repository root: sh ci/loadsmoke.sh
 set -eu
 
 SCALE=${SCALE:-40}
 DUR=${DUR:-1s}
+P99_BOUND=${P99_BOUND:-250ms}
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -43,5 +49,41 @@ grep -q '^sanserve_analytics_dropped_total ' "$tmp/out.txt" || fail "metrics mis
 grep -q '^sanserve_analytics_recorded_total ' "$tmp/out.txt" || fail "metrics missing sanserve_analytics_recorded_total"
 grep -q 'sanserve_request_duration_seconds_bucket{endpoint="figures"' "$tmp/out.txt" || fail "metrics missing figures duration histogram"
 grep -q 'sanserve_request_latency_seconds{endpoint="figures",quantile="0.99"}' "$tmp/out.txt" || fail "metrics missing p99 gauge"
+
+# --- phase 2: shed under overload ---------------------------------
+
+echo "loadsmoke: sweeping a 2-scenario workspace"
+go run ./cmd/sangen sweep -out "$tmp/ws" -scenarios baseline,pa-first-link \
+  -scale 30 -seed 7 >/dev/null
+
+# Build concurrency 1 against one warmed path and five cold ones: the
+# cold burst must shed (429 + Retry-After) instead of queueing, and
+# the cached path's p99 must hold under the bound (-p99-bound makes
+# the run itself fail otherwise).
+echo "loadsmoke: overload run ($DUR, max-builds 1, p99 bound $P99_BOUND)"
+go run ./cmd/sanserve -workspace "$tmp/ws" -max-builds 1 \
+  -loadgen -c 8 -dur "$DUR" -p99-bound "$P99_BOUND" -dump-metrics \
+  -paths "/v1/figures/2?timeline=baseline,/v1/figures/3?timeline=baseline,/v1/figures/4?timeline=baseline,/v1/figures/6?timeline=baseline,/v1/figures/3?timeline=pa-first-link,/v1/figures/4?timeline=pa-first-link" \
+  >"$tmp/overload.txt" 2>"$tmp/err2.txt" || {
+  echo "loadsmoke: overload run failed" >&2
+  cat "$tmp/err2.txt" >&2
+  cat "$tmp/overload.txt" >&2
+  exit 1
+}
+
+ofail() {
+  echo "loadsmoke: FAIL: $1" >&2
+  echo "--- overload output ---" >&2
+  cat "$tmp/overload.txt" >&2
+  exit 1
+}
+
+# The report counts sheds separately from errors (a shed carries
+# Retry-After; anything else non-2xx is an error and already failed
+# the run above).
+grep -Eq ', [1-9][0-9]* shed,' "$tmp/overload.txt" || ofail "no cold request was shed (want >= 1 429 with Retry-After)"
+grep -Eq '^sanserve_shed_total [1-9]' "$tmp/overload.txt" || ofail "sanserve_shed_total not positive"
+grep -q '^sanserve_max_builds 1$' "$tmp/overload.txt" || ofail "sanserve_max_builds gauge missing"
+grep -Eq '^sanserve_builds_admitted_total [1-9]' "$tmp/overload.txt" || ofail "no build was admitted"
 
 echo "loadsmoke: OK"

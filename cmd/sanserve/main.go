@@ -13,7 +13,11 @@
 // /v1/snapshots/{day}/stats, /healthz and /metrics until
 // SIGINT/SIGTERM, then drains in-flight requests (and the async
 // analytics pipeline) and exits.  A -workspace directory mounts every
-// scenario run from its manifest in one flag.
+// scenario run from its manifest in one flag; -reload-interval polls
+// that manifest and hot-swaps changed scenarios without a restart
+// (POST /v1/admin/reload forces a reload immediately), and
+// -max-builds bounds concurrent uncached figure builds, shedding
+// excess cold requests with 429 + Retry-After.
 //
 // Observability: requests are logged structurally (log/slog, -log
 // text|json) with per-request IDs; -audit FILE streams one NDJSON
@@ -57,6 +61,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8766", "listen address")
 		workspace   = flag.String("workspace", "", "scenario-sweep workspace directory to mount (see `sangen sweep`)")
+		reloadEvery = flag.Duration("reload-interval", 0, "poll the workspace manifest and hot-reload changed scenarios at this interval (0 = only POST /v1/admin/reload)")
+		maxBuilds   = flag.Int("max-builds", 0, "max concurrent uncached figure builds; excess cold requests get 429 + Retry-After (0 = unlimited)")
 		cache       = flag.Int("cache", 256, "figure result cache entries")
 		snapcache   = flag.Int("snapcache", 8, "reconstructed snapshots cached per mounted timeline")
 		workers     = flag.Int("workers", 0, "day-sweep worker pool size (0 = GOMAXPROCS)")
@@ -71,6 +77,8 @@ func main() {
 		conc        = flag.Int("c", 32, "loadgen: concurrent workers")
 		dur         = flag.Duration("dur", 3*time.Second, "loadgen: run duration")
 		dumpMetrics = flag.Bool("dump-metrics", false, "loadgen: print the final /metrics page after the run")
+		paths       = flag.String("paths", "", "loadgen: comma-separated request paths cycled round-robin (overrides -fig; only the first is cache-warmed)")
+		p99Bound    = flag.Duration("p99-bound", 0, "loadgen: fail if the first path's p99 latency exceeds this bound (0 = no bound)")
 	)
 	var mounts []mountFlag
 	flag.Func("mount", "timeline mount as name=full.tl[,view.tl] (repeatable)", func(v string) error {
@@ -109,6 +117,7 @@ func main() {
 		Cfg:           cfg,
 		CacheEntries:  *cache,
 		SnapCacheDays: *snapcache,
+		MaxBuilds:     *maxBuilds,
 		Logger:        logger,
 	}
 	if *auditPath != "" {
@@ -147,14 +156,27 @@ func main() {
 	}
 
 	if *loadgen {
-		if len(mounts) == 0 {
-			logger.Error("loadgen needs an explicit -mount")
+		var reqPaths []string
+		if *paths != "" {
+			for _, p := range strings.Split(*paths, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					reqPaths = append(reqPaths, p)
+				}
+			}
+		} else if len(mounts) > 0 {
+			reqPaths = []string{fmt.Sprintf("/v1/figures/%s?timeline=%s", *fig, mounts[0].name)}
+		}
+		if len(reqPaths) == 0 {
+			logger.Error("loadgen needs an explicit -mount or -paths")
 			os.Exit(1)
 		}
-		path := fmt.Sprintf("/v1/figures/%s?timeline=%s", *fig, mounts[0].name)
-		logger.Info("loadgen starting", "path", path, "workers", *conc, "duration", *dur)
-		report := sanserve.LoadGen(srv.Handler(), path, *conc, *dur)
+		logger.Info("loadgen starting", "paths", strings.Join(reqPaths, ","), "workers", *conc, "duration", *dur)
+		report := sanserve.LoadGenPaths(srv.Handler(), reqPaths, *conc, *dur)
 		fmt.Println(report)
+		for _, ps := range report.PerPath {
+			fmt.Printf("  path %s: %d requests, %d errors, %d shed (p50 %v, p95 %v, p99 %v)\n",
+				ps.Path, ps.Requests, ps.Errors, ps.Shed, ps.P50, ps.P95, ps.P99)
+		}
 		if *dumpMetrics {
 			srv.Analytics().Drain()
 			rec := httptest.NewRecorder()
@@ -165,7 +187,22 @@ func main() {
 		if report.Errors > 0 {
 			os.Exit(1)
 		}
+		if *p99Bound > 0 && report.PerPath[0].P99 > *p99Bound {
+			logger.Error("cached-path p99 exceeds bound",
+				"path", report.PerPath[0].Path, "p99", report.PerPath[0].P99, "bound", *p99Bound)
+			os.Exit(1)
+		}
 		return
+	}
+
+	if *reloadEvery > 0 {
+		if *workspace == "" {
+			logger.Error("-reload-interval requires -workspace")
+			os.Exit(1)
+		}
+		stopWatch := srv.WatchWorkspace(*reloadEvery)
+		defer stopWatch()
+		logger.Info("workspace watcher started", "interval", *reloadEvery)
 	}
 
 	if *pprofAddr != "" {

@@ -1,0 +1,73 @@
+package obs
+
+import "sync/atomic"
+
+// Gate is a bounded-concurrency admission gate with built-in
+// counters: the load-shedding primitive of the serving layer.  A
+// caller that would start an expensive operation calls TryAcquire;
+// a false return means the gate is at capacity and the caller should
+// shed the work (answer 429, drop the job) instead of queueing — the
+// same never-block discipline the Recorder applies to analytics rows.
+//
+// A Gate with capacity <= 0 is unlimited: TryAcquire always admits,
+// but admissions and in-flight occupancy are still counted, so the
+// same metrics wiring works gated or not.
+type Gate struct {
+	capacity int
+	slots    chan struct{} // nil when unlimited
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	inflight atomic.Int64
+}
+
+// NewGate returns a gate admitting at most capacity concurrent
+// holders (<= 0 = unlimited).
+func NewGate(capacity int) *Gate {
+	g := &Gate{capacity: capacity}
+	if capacity > 0 {
+		g.slots = make(chan struct{}, capacity)
+	}
+	return g
+}
+
+// TryAcquire claims a slot without blocking.  On false the shed
+// counter has been incremented and Release must NOT be called.
+func (g *Gate) TryAcquire() bool {
+	if g.slots != nil {
+		select {
+		case g.slots <- struct{}{}:
+		default:
+			g.shed.Add(1)
+			return false
+		}
+	}
+	g.admitted.Add(1)
+	g.inflight.Add(1)
+	return true
+}
+
+// Release returns a slot claimed by a successful TryAcquire.
+func (g *Gate) Release() {
+	g.inflight.Add(-1)
+	if g.slots != nil {
+		<-g.slots
+	}
+}
+
+// Cap reports the configured capacity (0 = unlimited).
+func (g *Gate) Cap() int {
+	if g.capacity < 0 {
+		return 0
+	}
+	return g.capacity
+}
+
+// Admitted counts successful acquisitions.
+func (g *Gate) Admitted() uint64 { return g.admitted.Load() }
+
+// Shed counts rejected acquisitions.
+func (g *Gate) Shed() uint64 { return g.shed.Load() }
+
+// InFlight reports the current number of slot holders.
+func (g *Gate) InFlight() int { return int(g.inflight.Load()) }

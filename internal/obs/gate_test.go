@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	g := NewGate(2)
+	if g.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", g.Cap())
+	}
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("first two acquisitions must succeed")
+	}
+	if g.TryAcquire() {
+		t.Fatal("third acquisition must shed")
+	}
+	if g.Shed() != 1 || g.Admitted() != 2 || g.InFlight() != 2 {
+		t.Fatalf("counters: shed %d admitted %d inflight %d", g.Shed(), g.Admitted(), g.InFlight())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("a released slot must be reusable")
+	}
+	g.Release()
+	g.Release()
+	if g.InFlight() != 0 {
+		t.Fatalf("inflight %d after full release", g.InFlight())
+	}
+}
+
+func TestGateUnlimited(t *testing.T) {
+	g := NewGate(0)
+	for i := 0; i < 100; i++ {
+		if !g.TryAcquire() {
+			t.Fatal("unlimited gate must always admit")
+		}
+	}
+	if g.Admitted() != 100 || g.Shed() != 0 || g.InFlight() != 100 {
+		t.Fatalf("counters: admitted %d shed %d inflight %d", g.Admitted(), g.Shed(), g.InFlight())
+	}
+	for i := 0; i < 100; i++ {
+		g.Release()
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("inflight %d after release", g.InFlight())
+	}
+}
+
+// TestGateConcurrentInvariant hammers the gate from many goroutines
+// (run under -race in CI) and asserts the capacity is never exceeded
+// and the counters reconcile.
+func TestGateConcurrentInvariant(t *testing.T) {
+	const cap = 4
+	g := NewGate(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if g.TryAcquire() {
+					if n := g.InFlight(); n > cap {
+						t.Errorf("inflight %d exceeds capacity %d", n, cap)
+					}
+					g.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if g.InFlight() != 0 {
+		t.Fatalf("inflight %d after all goroutines finished", g.InFlight())
+	}
+	if g.Admitted()+g.Shed() != 16*1000 {
+		t.Fatalf("admitted %d + shed %d != attempts", g.Admitted(), g.Shed())
+	}
+}

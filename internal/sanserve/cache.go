@@ -4,12 +4,20 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
-// cacheKey identifies one figure result: which mount, which registry
-// experiment, which day range, and which wire encoding.
+// cacheKey identifies one figure result: which mount (by name AND
+// mount generation), which registry experiment, which day range, and
+// which wire encoding.  The generation makes hot reload race-free
+// without coordination: a request that resolved a pre-swap *Mount can
+// only read or write keys carrying the old generation, which no
+// post-swap request will ever look up — stale bytes cannot repopulate
+// the cache after an invalidation.
 type cacheKey struct {
 	timeline string
+	gen      uint64
 	figure   string
 	lo, hi   int
 	format   string
@@ -22,6 +30,14 @@ type cacheEntry struct {
 	err   error
 	elem  *list.Element
 }
+
+// errShed is returned by do when the admission gate rejects a cold
+// computation; handlers translate it to 429 + Retry-After.
+var errShed = &statusError{statusTooManyRequests, "server is at its cold-build concurrency limit; retry shortly (cached queries are unaffected)"}
+
+// statusTooManyRequests avoids importing net/http here; it must equal
+// http.StatusTooManyRequests (asserted in tests).
+const statusTooManyRequests = 429
 
 // resultCache is a bounded LRU of encoded figure responses with
 // single-flight computation: concurrent requests for one key block on
@@ -49,7 +65,13 @@ func newResultCache(max int) *resultCache {
 // do returns the cached encoding for key, computing it (once) on a
 // miss.  hit reports whether the result came from the cache or an
 // already-in-flight computation.
-func (c *resultCache) do(key cacheKey, compute func() ([]byte, string, error)) (data []byte, ctype string, err error, hit bool) {
+//
+// gate, when non-nil, admission-controls cold computations: only the
+// caller that would actually start a compute needs a slot, so cache
+// hits and single-flight waiters are never shed.  The acquire happens
+// under c.mu, before the in-flight entry exists — a shed request
+// leaves no entry behind and can never be cached.
+func (c *resultCache) do(key cacheKey, gate *obs.Gate, compute func() ([]byte, string, error)) (data []byte, ctype string, err error, hit bool) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e.elem)
@@ -57,10 +79,20 @@ func (c *resultCache) do(key cacheKey, compute func() ([]byte, string, error)) (
 		<-e.ready
 		return e.data, e.ctype, e.err, true
 	}
+	if gate != nil && !gate.TryAcquire() {
+		c.mu.Unlock()
+		return nil, "", errShed, false
+	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	e.elem = c.lru.PushFront(key)
 	c.mu.Unlock()
+
+	// The slot covers the whole computation, including the panic path
+	// below (the deferred recover re-panics after this release runs).
+	if gate != nil {
+		defer gate.Release()
+	}
 
 	// If compute panics (e.g. a decode failure deep in a lazily-built
 	// dataset), waiters must still be released and the entry dropped,
@@ -70,8 +102,7 @@ func (c *resultCache) do(key cacheKey, compute func() ([]byte, string, error)) (
 			c.mu.Lock()
 			e.err = fmt.Errorf("sanserve: figure computation panicked: %v", v)
 			close(e.ready)
-			c.lru.Remove(e.elem)
-			delete(c.entries, key)
+			c.removeLocked(key, e)
 			c.mu.Unlock()
 			panic(v) // let the handler's recover middleware answer 500
 		}
@@ -81,12 +112,48 @@ func (c *resultCache) do(key cacheKey, compute func() ([]byte, string, error)) (
 	c.mu.Lock()
 	close(e.ready)
 	if e.err != nil {
-		c.lru.Remove(e.elem)
-		delete(c.entries, key)
+		c.removeLocked(key, e)
 	}
 	c.evictLocked()
 	c.mu.Unlock()
 	return e.data, e.ctype, e.err, false
+}
+
+// removeLocked drops an entry, but only if the map still holds this
+// exact entry: invalidateTimeline may have already removed it (and a
+// fresh in-flight entry may have taken the key), in which case a
+// blind delete would corrupt the LRU bookkeeping of the newcomer.
+func (c *resultCache) removeLocked(key cacheKey, e *cacheEntry) {
+	if c.entries[key] == e {
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
+	}
+}
+
+// invalidateTimeline drops every entry for the named timeline except
+// those belonging to keepGen (pass 0 to drop all generations, e.g.
+// for a removed mount).  In-flight entries are unlinked immediately —
+// their computations finish for their own waiters but the guarded
+// removal above keeps them from touching the map again.  Returns the
+// number of entries dropped.
+//
+// Correctness after a reload does not depend on this purge: old-
+// generation keys are unreachable the instant the mount table swaps.
+// This is memory hygiene — stale encodings stop occupying LRU slots
+// right away instead of aging out.
+func (c *resultCache) invalidateTimeline(name string, keepGen uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key, e := range c.entries {
+		if key.timeline != name || (keepGen != 0 && key.gen == keepGen) {
+			continue
+		}
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
+		dropped++
+	}
+	return dropped
 }
 
 // evictLocked drops least-recently-used ready entries until the cache

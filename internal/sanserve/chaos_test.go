@@ -1,0 +1,197 @@
+package sanserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosReloadUnderLoad is the headline deliverable of the reload
+// + admission-control layer: continuous loadgen-style traffic from
+// many workers while the workspace is repeatedly rewritten and
+// hot-swapped, with the cold-build gate engaged.  Run under -race in
+// CI.  Asserts, across the whole run:
+//
+//   - zero 5xx responses and zero recovered panics
+//   - no stale bytes: after every swap, the changed scenario serves
+//     exactly the bytes a fresh server of the new workspace would
+//   - cache-hit continuity: the unchanged scenario never loses its
+//     hot cache to a swap (every request after the warm-up is a hit)
+//   - shed-not-starve: cold bursts may 429 (always with Retry-After)
+//     but every post-swap verification eventually serves
+//
+// The full run is ~30s with 6 swaps; -short compresses the clock
+// without changing the structure.
+func TestChaosReloadUnderLoad(t *testing.T) {
+	duration, swaps := 30*time.Second, 6
+	if testing.Short() {
+		duration, swaps = 3*time.Second, 5
+	}
+
+	// The churn scenario changes day count every swap: day-indexed
+	// figures are guaranteed to differ between generations, so a stale
+	// byte cannot masquerade as a fresh one.
+	const days = 8
+	stableSeed := uint64(9101)
+	churnSeed := uint64(9200)
+	churnDays := func(i int) int { return 6 + i }
+
+	dir := t.TempDir()
+	writeWorkspace(t, dir, []wsSpec{
+		{"churn", churnSeed, churnDays(0)},
+		{"stable", stableSeed, days},
+	})
+	s := newWorkspaceServer(t, dir, Options{MaxBuilds: 2})
+	h := s.Handler()
+
+	// Expected churn bytes per swap generation, from fresh single-mount
+	// servers sharing the packed-timeline cache — the no-stale oracle.
+	expected := make([]string, swaps+1)
+	for i := 0; i <= swaps; i++ {
+		fresh := New(Options{Cfg: testConfig()})
+		full, view := packPair(t, churnSeed, churnDays(i))
+		if err := fresh.Mount("churn", full, view); err != nil {
+			t.Fatal(err)
+		}
+		rec := get(t, fresh.Handler(), "/v1/figures/2?timeline=churn")
+		if rec.Code != 200 {
+			t.Fatalf("oracle build %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		expected[i] = rec.Body.String()
+	}
+	for i := 1; i <= swaps; i++ {
+		if expected[i] == expected[i-1] {
+			t.Fatalf("seeds %d and %d produce identical figures; chaos oracle is vacuous", i-1, i)
+		}
+	}
+
+	// Warm the stable scenario once; from here on every stable
+	// full-range response must be a cache hit, swaps notwithstanding.
+	if rec := get(t, h, "/v1/figures/2?timeline=stable"); rec.Code != 200 {
+		t.Fatal(rec.Body.String())
+	}
+
+	var (
+		server5xx    atomic.Int64
+		stableMisses atomic.Int64
+		shed429      atomic.Int64
+		requests     atomic.Int64
+		firstFailure sync.Once
+		failureBody  atomic.Value
+	)
+	paths := []string{
+		"/v1/figures/2?timeline=stable",
+		"/v1/figures/2?timeline=churn",
+		"/v1/figures/6?timeline=churn",
+		"/v1/compare/2",
+		"/v1/timelines",
+		"/v1/scenarios",
+		"/healthz",
+		"/metrics",
+		fmt.Sprintf("/v1/snapshots/%d/stats?timeline=stable", days),
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := paths[i%len(paths)]
+				rec := get(t, h, p)
+				requests.Add(1)
+				switch {
+				case rec.Code >= 500:
+					server5xx.Add(1)
+					firstFailure.Do(func() {
+						failureBody.Store(fmt.Sprintf("%s -> %d %s", p, rec.Code, rec.Body.String()))
+					})
+				case rec.Code == http.StatusTooManyRequests:
+					shed429.Add(1)
+					if rec.Header().Get("Retry-After") == "" {
+						server5xx.Add(1) // a malformed shed is a server bug
+						firstFailure.Do(func() {
+							failureBody.Store(p + " -> 429 without Retry-After")
+						})
+					}
+				}
+				if p == paths[0] && rec.Code == 200 && rec.Header().Get("X-Cache") != "hit" {
+					stableMisses.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// The swap loop: rewrite the churn scenario, reload through the
+	// admin endpoint, then verify the swap took effect byte-for-byte.
+	pause := duration / time.Duration(swaps)
+	for i := 1; i <= swaps; i++ {
+		time.Sleep(pause)
+		writeWorkspace(t, dir, []wsSpec{
+			{"churn", churnSeed, churnDays(i)},
+			{"stable", stableSeed, days},
+		})
+		rec := post(t, h, "/v1/admin/reload")
+		if rec.Code != 200 {
+			t.Fatalf("swap %d: reload %d %s", i, rec.Code, rec.Body.String())
+		}
+		var rep ReloadReport
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		if len(rep.Updated) != 1 || rep.Updated[0] != "churn" || len(rep.Kept) != 1 || rep.Kept[0] != "stable" {
+			t.Fatalf("swap %d: report kept %v updated %v added %v removed %v",
+				i, rep.Kept, rep.Updated, rep.Added, rep.Removed)
+		}
+		// No stale bytes: the first successful post-swap read (sheds
+		// from the concurrent cold burst are retried) must serve the
+		// new workspace's figure, not the old one's.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			vr := get(t, h, "/v1/figures/2?timeline=churn")
+			if vr.Code == http.StatusTooManyRequests {
+				if time.Now().After(deadline) {
+					t.Fatalf("swap %d: churn build starved behind the gate", i)
+				}
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			if vr.Code != 200 {
+				t.Fatalf("swap %d: churn %d %s", i, vr.Code, vr.Body.String())
+			}
+			if got := vr.Body.String(); got != expected[i] {
+				if got == expected[i-1] {
+					t.Fatalf("swap %d: STALE bytes (previous workspace) served after reload", i)
+				}
+				t.Fatalf("swap %d: churn bytes match no known workspace generation", i)
+			}
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := server5xx.Load(); n != 0 {
+		t.Errorf("%d server errors during chaos; first: %v", n, failureBody.Load())
+	}
+	if n := s.met.panics.Load(); n != 0 {
+		t.Errorf("%d recovered panics during chaos", n)
+	}
+	if n := stableMisses.Load(); n != 0 {
+		t.Errorf("unchanged scenario lost its cache %d times across %d swaps", n, swaps)
+	}
+	if got := int(s.met.reloads.Load()); got != swaps {
+		t.Errorf("reloads %d, want %d", got, swaps)
+	}
+	t.Logf("chaos: %d requests, %d swaps, %d shed, %d cache entries",
+		requests.Load(), swaps, shed429.Load(), s.cache.Len())
+}

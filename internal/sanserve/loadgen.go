@@ -5,21 +5,40 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
+// PathStats is one path's slice of a load-generation run; the
+// overload smoke asserts on the cached path's p99 while cold paths
+// are being shed.
+type PathStats struct {
+	Path     string
+	Requests int
+	Errors   int
+	Shed     int
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+}
+
 // LoadReport summarizes one load-generation run: throughput plus the
 // latency percentiles computed from every recorded sample.
 type LoadReport struct {
-	Path        string
+	Path        string // comma-joined for multi-path runs
 	Concurrency int
 	Requests    int
-	Errors      int // non-2xx responses
+	Errors      int // non-2xx responses other than well-formed sheds
+	Shed        int // 429 responses carrying Retry-After (admission control)
 	Duration    time.Duration
 	P50         time.Duration
 	P95         time.Duration
 	P99         time.Duration
+
+	// PerPath breaks the run down by request path, in the order the
+	// paths were given (single-path runs have exactly one entry).
+	PerPath []PathStats
 }
 
 // QPS returns the achieved request throughput.
@@ -31,8 +50,8 @@ func (r LoadReport) QPS() float64 {
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf("loadgen %s: %d requests, %d errors, %d workers, %.1fs -> %.0f req/s (p50 %v, p95 %v, p99 %v)",
-		r.Path, r.Requests, r.Errors, r.Concurrency, r.Duration.Seconds(), r.QPS(), r.P50, r.P95, r.P99)
+	return fmt.Sprintf("loadgen %s: %d requests, %d errors, %d shed, %d workers, %.1fs -> %.0f req/s (p50 %v, p95 %v, p99 %v)",
+		r.Path, r.Requests, r.Errors, r.Shed, r.Concurrency, r.Duration.Seconds(), r.QPS(), r.P50, r.P95, r.P99)
 }
 
 // LoadGen drives concurrency workers against one handler path for
@@ -42,65 +61,103 @@ func (r LoadReport) String() string {
 // is issued alone to warm the result cache, making the report a
 // cached-request throughput figure.
 func LoadGen(h http.Handler, path string, concurrency int, d time.Duration) LoadReport {
+	return LoadGenPaths(h, []string{path}, concurrency, d)
+}
+
+// LoadGenPaths is LoadGen over a path mix: each worker cycles through
+// every path round-robin (staggered by worker index so the mix stays
+// even at low request counts).  Only the first path is warmed — later
+// paths hit the server cold, which is exactly what the overload smoke
+// wants: a cached path measured while cold paths contend for build
+// slots.  A 429 carrying Retry-After counts as Shed, not an error; a
+// 429 without the header is a protocol bug and counts as an error.
+func LoadGenPaths(h http.Handler, paths []string, concurrency int, d time.Duration) LoadReport {
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	warm := httptest.NewRequest("GET", path, nil)
+	if len(paths) == 0 {
+		return LoadReport{}
+	}
+	warm := httptest.NewRequest("GET", paths[0], nil)
 	warmRec := httptest.NewRecorder()
 	h.ServeHTTP(warmRec, warm)
 
+	type pathAcc struct {
+		requests, errors, shed int
+		latencies              []time.Duration
+	}
 	var (
-		wg        sync.WaitGroup
-		mu        sync.Mutex
-		total     int
-		errors    int
-		latencies []time.Duration
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		acc = make([]pathAcc, len(paths))
 	)
 	stop := time.Now().Add(d)
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			var n, bad int
-			var lats []time.Duration
-			for time.Now().Before(stop) {
-				req := httptest.NewRequest("GET", path, nil)
+			local := make([]pathAcc, len(paths))
+			for i := w; time.Now().Before(stop); i++ {
+				p := i % len(paths)
+				req := httptest.NewRequest("GET", paths[p], nil)
 				rec := httptest.NewRecorder()
 				t0 := time.Now()
 				h.ServeHTTP(rec, req)
-				lats = append(lats, time.Since(t0))
-				n++
-				if rec.Code < 200 || rec.Code >= 300 {
-					bad++
+				a := &local[p]
+				a.latencies = append(a.latencies, time.Since(t0))
+				a.requests++
+				switch {
+				case rec.Code >= 200 && rec.Code < 300:
+				case rec.Code == http.StatusTooManyRequests && rec.Header().Get("Retry-After") != "":
+					a.shed++
+				default:
+					a.errors++
 				}
 			}
 			mu.Lock()
-			total += n
-			errors += bad
-			latencies = append(latencies, lats...)
+			for p := range local {
+				acc[p].requests += local[p].requests
+				acc[p].errors += local[p].errors
+				acc[p].shed += local[p].shed
+				acc[p].latencies = append(acc[p].latencies, local[p].latencies...)
+			}
 			mu.Unlock()
-		}()
+		}(w)
 	}
 	start := time.Now()
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
+	pct := func(lats []time.Duration, p float64) time.Duration {
+		if len(lats) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
+		return lats[int(p*float64(len(lats)-1))]
 	}
-	return LoadReport{
-		Path:        path,
+	rep := LoadReport{
+		Path:        strings.Join(paths, ","),
 		Concurrency: concurrency,
-		Requests:    total,
-		Errors:      errors,
 		Duration:    elapsed,
-		P50:         pct(0.50),
-		P95:         pct(0.95),
-		P99:         pct(0.99),
 	}
+	var all []time.Duration
+	for p := range acc {
+		a := &acc[p]
+		sort.Slice(a.latencies, func(i, j int) bool { return a.latencies[i] < a.latencies[j] })
+		rep.Requests += a.requests
+		rep.Errors += a.errors
+		rep.Shed += a.shed
+		all = append(all, a.latencies...)
+		rep.PerPath = append(rep.PerPath, PathStats{
+			Path:     paths[p],
+			Requests: a.requests,
+			Errors:   a.errors,
+			Shed:     a.shed,
+			P50:      pct(a.latencies, 0.50),
+			P95:      pct(a.latencies, 0.95),
+			P99:      pct(a.latencies, 0.99),
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50, rep.P95, rep.P99 = pct(all, 0.50), pct(all, 0.95), pct(all, 0.99)
+	return rep
 }

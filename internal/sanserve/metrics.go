@@ -20,6 +20,8 @@ type serverMetrics struct {
 	cacheHits        atomic.Uint64
 	cacheMisses      atomic.Uint64
 	panics           atomic.Uint64
+	reloads          atomic.Uint64
+	reloadErrors     atomic.Uint64
 }
 
 // registerMetrics wires every server-level series into the registry.
@@ -43,6 +45,18 @@ func (s *Server) registerMetrics() {
 		s.mu.RUnlock()
 		return float64(n)
 	})
+
+	// Admission control: the cold-build gate.  shed_total is the
+	// headline overload signal — every 429 the gate caused.
+	reg.Counter("sanserve_shed_total", nil, s.gate.Shed)
+	reg.Counter("sanserve_builds_admitted_total", nil, s.gate.Admitted)
+	reg.Gauge("sanserve_builds_inflight", nil, func() float64 { return float64(s.gate.InFlight()) })
+	reg.Gauge("sanserve_max_builds", nil, func() float64 { return float64(s.gate.Cap()) })
+
+	// Hot reload: successful table swaps and failed attempts (a
+	// failure keeps the previous mounts serving).
+	reg.Counter("sanserve_reloads_total", nil, s.met.reloads.Load)
+	reg.Counter("sanserve_reload_errors_total", nil, s.met.reloadErrors.Load)
 
 	// The async analytics pipeline: folded rows and the explicit
 	// overload drop counter (request recording never blocks).
@@ -73,21 +87,55 @@ func (s *Server) registerQuantileGauges(endpoint string, h *obs.Histogram) {
 	}
 }
 
-// registerMountMetrics exports one mount's snapstore Store statistics.
-// The gauges capture the *Mount, not the mount table, so reading them
-// takes only each store's own short stat lock — never s.mu.
-func (s *Server) registerMountMetrics(m *Mount) {
-	for _, src := range []struct {
-		label string
-		store *snapstore.Store
-	}{{"full", m.fullStore}, {"view", m.viewStore}} {
-		labels := obs.Labels{"timeline": m.Name, "source": src.label}
-		store := src.store
-		s.reg.Counter("sanserve_store_hits_total", labels, func() uint64 { return store.Stats().Hits })
-		s.reg.Counter("sanserve_store_misses_total", labels, func() uint64 { return store.Stats().Misses })
-		s.reg.Counter("sanserve_store_evictions_total", labels, func() uint64 { return store.Stats().Evictions })
-		s.reg.Gauge("sanserve_store_cached_days", labels, func() float64 { return float64(store.CachedDays()) })
+// registerMountMetrics exports one mount name's snapstore Store
+// statistics.  The series resolve the *current* mount by name through
+// a brief s.mu.RLock at render time (the value is read before any
+// write to the response — WritePrometheus snapshots callbacks first),
+// so a hot reload that swaps the mount does not duplicate series: the
+// same (timeline, source) labels simply start reporting the new
+// mount's stores.  Registration happens at most once per name.
+func (s *Server) registerMountMetrics(name string) {
+	s.mu.Lock()
+	if s.mountMetricNames[name] {
+		s.mu.Unlock()
+		return
 	}
+	s.mountMetricNames[name] = true
+	s.mu.Unlock()
+	for _, src := range []string{"full", "view"} {
+		labels := obs.Labels{"timeline": name, "source": src}
+		src := src
+		stats := func() snapstore.StoreStats {
+			if st := s.storeFor(name, src); st != nil {
+				return st.Stats()
+			}
+			return snapstore.StoreStats{}
+		}
+		s.reg.Counter("sanserve_store_hits_total", labels, func() uint64 { return stats().Hits })
+		s.reg.Counter("sanserve_store_misses_total", labels, func() uint64 { return stats().Misses })
+		s.reg.Counter("sanserve_store_evictions_total", labels, func() uint64 { return stats().Evictions })
+		s.reg.Gauge("sanserve_store_cached_days", labels, func() float64 {
+			if st := s.storeFor(name, src); st != nil {
+				return float64(st.CachedDays())
+			}
+			return 0
+		})
+	}
+}
+
+// storeFor resolves a mount's snapstore by name and source; nil when
+// the mount is gone (a removed scenario's series read as zero).
+func (s *Server) storeFor(name, source string) *snapstore.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.mounts[name]
+	if m == nil {
+		return nil
+	}
+	if source == "view" {
+		return m.viewStore
+	}
+	return m.fullStore
 }
 
 // handleMetrics renders the registry in the Prometheus text
@@ -118,6 +166,8 @@ func endpointOf(path string) (endpoint, figure string) {
 		return "compare", path[len("/v1/compare/"):]
 	case path == "/v1/snapshots/stats":
 		return "stats_sweep", ""
+	case path == "/v1/admin/reload":
+		return "admin_reload", ""
 	case strings.HasPrefix(path, "/v1/snapshots/"):
 		return "snapshot_stats", ""
 	default:

@@ -1,0 +1,165 @@
+package sanserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestStatusConstantMatchesNetHTTP(t *testing.T) {
+	if statusTooManyRequests != http.StatusTooManyRequests {
+		t.Fatalf("statusTooManyRequests = %d", statusTooManyRequests)
+	}
+}
+
+// TestShedColdBurst pins the admission-control contract: with one
+// build slot held by a slow cold request, further cold requests are
+// shed with 429 + Retry-After and a JSON body, cached requests keep
+// serving instantly, single-flight waiters for the in-flight key are
+// NOT shed, and sheds count into sanserve_shed_total but not into
+// figure errors or the cache hit/miss ratio.
+func TestShedColdBurst(t *testing.T) {
+	s := newTestServer(t, Options{MaxBuilds: 1})
+	h := s.Handler()
+
+	// Warm the full-range figure 2 key while builds are unconstrained.
+	if rec := get(t, h, "/v1/figures/2"); rec.Code != 200 {
+		t.Fatal(rec.Body.String())
+	}
+	misses0 := s.met.cacheMisses.Load()
+
+	// From here every driver call blocks until released.
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	orig := s.runFigure
+	s.runFigure = func(id string, ds *experiments.Dataset) (experiments.Figure, error) {
+		started <- struct{}{}
+		<-release
+		return orig(id, ds)
+	}
+
+	// Occupy the only build slot with one cold key.
+	holder := make(chan int, 1)
+	go func() {
+		holder <- get(t, h, "/v1/figures/2?days=1-2").Code
+	}()
+	<-started
+
+	// A waiter on the SAME cold key joins the in-flight computation
+	// instead of being shed.
+	waiter := make(chan int, 1)
+	go func() {
+		waiter <- get(t, h, "/v1/figures/2?days=1-2").Code
+	}()
+
+	// Cold requests for other keys shed.
+	shedRec := get(t, h, "/v1/figures/2?days=1-3")
+	if shedRec.Code != http.StatusTooManyRequests {
+		t.Fatalf("cold burst: got %d, want 429 (%s)", shedRec.Code, shedRec.Body.String())
+	}
+	if ra := shedRec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(shedRec.Body.Bytes(), &body); err != nil || !strings.Contains(body.Error, "concurrency limit") {
+		t.Errorf("shed body: %v %q", err, shedRec.Body.String())
+	}
+	// Compare sheds too when its scenario's build would be cold.
+	if rec := get(t, h, "/v1/compare/2?days=1-4"); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("compare cold burst: got %d, want 429 (%s)", rec.Code, rec.Body.String())
+	} else if rec.Header().Get("Retry-After") == "" {
+		t.Error("compare shed without Retry-After")
+	}
+
+	// Cached traffic is unaffected while the slot is held.
+	if rec := get(t, h, "/v1/figures/2"); rec.Code != 200 || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("cached request during burst: %d X-Cache %q", rec.Code, rec.Header().Get("X-Cache"))
+	}
+
+	if got := s.gate.Shed(); got < 2 {
+		t.Errorf("gate shed %d, want >= 2", got)
+	}
+	if got := s.met.figureErrors.Load(); got != 0 {
+		t.Errorf("sheds counted as figure errors: %d", got)
+	}
+
+	// Release the slot: the holder and its waiter both complete, and
+	// the previously-shed key now builds.
+	close(release)
+	if code := <-holder; code != 200 {
+		t.Fatalf("holder finished %d", code)
+	}
+	if code := <-waiter; code != 200 {
+		t.Fatalf("single-flight waiter finished %d", code)
+	}
+	if rec := get(t, h, "/v1/figures/2?days=1-3"); rec.Code != 200 {
+		t.Fatalf("retry after release: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Shed attempts must not have moved the miss counter (holder,
+	// waiter-joined flight, and the retry account for the misses).
+	wantMisses := misses0 + 2 // days=1-2 compute + days=1-3 retry
+	if got := s.met.cacheMisses.Load(); got != wantMisses {
+		t.Errorf("cache misses %d, want %d (sheds leaked into the ratio?)", got, wantMisses)
+	}
+
+	// /metrics exposes the gate series.
+	rec := get(t, h, "/metrics")
+	for _, want := range []string{"sanserve_shed_total ", "sanserve_builds_admitted_total ", "sanserve_builds_inflight ", "sanserve_max_builds 1"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestShedNotStarve: under a sustained cold burst wider than the
+// build capacity, progress continues — every key eventually builds
+// once its turn comes, because sheds are instant (no queueing) and
+// retries land on free slots.
+func TestShedNotStarve(t *testing.T) {
+	s := newTestServer(t, Options{MaxBuilds: 2})
+	h := s.Handler()
+	paths := []string{
+		"/v1/figures/2?days=1-2", "/v1/figures/2?days=1-3", "/v1/figures/2?days=1-4",
+		"/v1/figures/2?days=1-5", "/v1/figures/2?days=1-6", "/v1/figures/2?days=1-7",
+	}
+	var wg sync.WaitGroup
+	codes := make([][]int, len(paths))
+	for i, p := range paths {
+		wg.Add(1)
+		go func(i int, p string) {
+			defer wg.Done()
+			// Retry until served; a starved key would loop forever and
+			// trip the test timeout.
+			for {
+				rec := get(t, h, p)
+				codes[i] = append(codes[i], rec.Code)
+				if rec.Code == 200 {
+					return
+				}
+				if rec.Code != http.StatusTooManyRequests {
+					t.Errorf("%s: unexpected %d %s", p, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for i, cs := range codes {
+		if cs[len(cs)-1] != 200 {
+			t.Errorf("%s never served: %v", paths[i], cs)
+		}
+	}
+	if int(s.gate.Admitted()) < len(paths) {
+		t.Errorf("admitted %d, want >= %d", s.gate.Admitted(), len(paths))
+	}
+	if s.gate.InFlight() != 0 {
+		t.Errorf("inflight %d after drain", s.gate.InFlight())
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -83,6 +84,17 @@ type Options struct {
 
 	// FlushInterval forces periodic audit-sink flushes (default 1s).
 	FlushInterval time.Duration
+
+	// MaxBuilds bounds concurrent uncached figure builds (the
+	// admission gate).  Excess cold requests are shed with 429 +
+	// Retry-After instead of queueing behind the driver pool, so
+	// cached traffic stays fast under cold bursts.  0 = unlimited
+	// (admissions are still counted for the builds_* metrics).
+	MaxBuilds int
+
+	// RetryAfter is the Retry-After hint attached to shed responses
+	// (default 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
 }
 
 // Server answers figure and snapshot queries for a set of mounted
@@ -97,9 +109,30 @@ type Server struct {
 	rec     *obs.Recorder
 	logger  *slog.Logger
 	simProg *obs.Progress
+	gate    *obs.Gate // admission control for uncached figure builds
 
-	mu     sync.RWMutex
+	// mountGen issues a unique generation to every *Mount ever built;
+	// cache keys carry it, so a swapped-out mount's entries become
+	// unreachable the moment the table swaps (see cacheKey).
+	mountGen atomic.Uint64
+
+	mu sync.RWMutex
+	// mounts is copy-on-write under reload: readers hold RLock only
+	// long enough to resolve a *Mount, which is immutable thereafter.
 	mounts map[string]*Mount
+	// mountMetricNames tracks which mount names already have store
+	// gauges registered; reloads re-use the name-based series instead
+	// of duplicating them (guarded by mu).
+	mountMetricNames map[string]bool
+
+	// reloadMu serializes ReloadWorkspace/MountWorkspace; s.mu is
+	// never held across the snapstore I/O they do.
+	reloadMu     sync.Mutex
+	workspaceDir string // set by MountWorkspace; "" = no workspace
+
+	// loadTimelines loads one run's timeline pair from the workspace;
+	// tests override it to inject slow or failing loads.
+	loadTimelines func(dir string, run scenario.Run) (full, view *snapstore.Timeline, err error)
 
 	// runFigure dispatches into the experiments registry; tests
 	// override it to count driver invocations.
@@ -117,6 +150,12 @@ type Mount struct {
 	// for mounts loaded from a scenario workspace; nil otherwise.
 	Run *scenario.Run
 
+	// gen is this mount's unique cache generation; digest is the
+	// run's ContentDigest for workspace mounts ("" otherwise), the
+	// change detector hot reload diffs against a re-read manifest.
+	gen    uint64
+	digest string
+
 	ds        *experiments.Dataset
 	fullStore *snapstore.Store
 	viewStore *snapstore.Store
@@ -130,19 +169,25 @@ func New(opts Options) *Server {
 	if opts.SnapCacheDays <= 0 {
 		opts.SnapCacheDays = 8
 	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
-		opts:      opts,
-		mux:       http.NewServeMux(),
-		cache:     newResultCache(opts.CacheEntries),
-		reg:       obs.NewRegistry(),
-		logger:    logger,
-		simProg:   obs.NewProgress("sanserve-datasets"),
-		mounts:    map[string]*Mount{},
-		runFigure: experiments.RunOn,
+		opts:             opts,
+		mux:              http.NewServeMux(),
+		cache:            newResultCache(opts.CacheEntries),
+		reg:              obs.NewRegistry(),
+		logger:           logger,
+		simProg:          obs.NewProgress("sanserve-datasets"),
+		gate:             obs.NewGate(opts.MaxBuilds),
+		mounts:           map[string]*Mount{},
+		mountMetricNames: map[string]bool{},
+		loadTimelines:    scenario.Timelines,
+		runFigure:        experiments.RunOn,
 	}
 	// Dataset builds forced by this server (fold walks on first touch,
 	// model simulations) report through the shared progress counters,
@@ -165,6 +210,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/compare/{id}", s.handleCompare)
 	s.mux.HandleFunc("GET /v1/snapshots/{day}/stats", s.handleSnapshotStats)
 	s.mux.HandleFunc("GET /v1/snapshots/stats", s.handleStatsSweep)
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	return s
 }
 
@@ -177,36 +223,9 @@ func (s *Server) Mount(name string, full, view *snapstore.Timeline) error {
 }
 
 func (s *Server) mount(name string, full, view *snapstore.Timeline, run *scenario.Run) error {
-	if name == "" || strings.ContainsAny(name, " /?&=") {
-		return fmt.Errorf("sanserve: invalid mount name %q", name)
-	}
-	sp := obs.StartSpan(s.logger, "mount", "name", name)
-	if full == nil || full.NumDays() == 0 {
-		return fmt.Errorf("sanserve: mount %q: empty timeline", name)
-	}
-	if view == nil {
-		view = full
-	}
-	if view.NumDays() != full.NumDays() {
-		return fmt.Errorf("sanserve: mount %q: full has %d days but view has %d",
-			name, full.NumDays(), view.NumDays())
-	}
-	if _, err := full.ReconstructAt(full.NumDays() - 1); err != nil {
-		return fmt.Errorf("sanserve: mount %q: full timeline: %w", name, err)
-	}
-	if view != full {
-		if _, err := view.ReconstructAt(view.NumDays() - 1); err != nil {
-			return fmt.Errorf("sanserve: mount %q: view timeline: %w", name, err)
-		}
-	}
-	m := &Mount{
-		Name:      name,
-		Full:      full,
-		View:      view,
-		Run:       run,
-		ds:        experiments.NewTimelineDataset(s.opts.Cfg, full, view),
-		fullStore: snapstore.NewStore(full, s.opts.SnapCacheDays),
-		viewStore: snapstore.NewStore(view, s.opts.SnapCacheDays),
+	m, err := s.buildMount(name, full, view, run)
+	if err != nil {
+		return err
 	}
 	s.mu.Lock()
 	if _, ok := s.mounts[name]; ok {
@@ -215,9 +234,55 @@ func (s *Server) mount(name string, full, view *snapstore.Timeline, run *scenari
 	}
 	s.mounts[name] = m
 	s.mu.Unlock()
-	s.registerMountMetrics(m)
-	sp.End()
+	s.registerMountMetrics(name)
 	return nil
+}
+
+// buildMount does all the expensive mount work — validation by final-
+// day reconstruction (which decodes every delta, so corrupt files are
+// rejected here instead of failing mid-request), dataset and store
+// construction — WITHOUT taking any server lock.  The returned *Mount
+// is immutable and carries a fresh cache generation; callers insert
+// it into the table under a brief s.mu.Lock (mount, swap in
+// ReloadWorkspace).
+func (s *Server) buildMount(name string, full, view *snapstore.Timeline, run *scenario.Run) (*Mount, error) {
+	if name == "" || strings.ContainsAny(name, " /?&=") {
+		return nil, fmt.Errorf("sanserve: invalid mount name %q", name)
+	}
+	sp := obs.StartSpan(s.logger, "mount", "name", name)
+	if full == nil || full.NumDays() == 0 {
+		return nil, fmt.Errorf("sanserve: mount %q: empty timeline", name)
+	}
+	if view == nil {
+		view = full
+	}
+	if view.NumDays() != full.NumDays() {
+		return nil, fmt.Errorf("sanserve: mount %q: full has %d days but view has %d",
+			name, full.NumDays(), view.NumDays())
+	}
+	if _, err := full.ReconstructAt(full.NumDays() - 1); err != nil {
+		return nil, fmt.Errorf("sanserve: mount %q: full timeline: %w", name, err)
+	}
+	if view != full {
+		if _, err := view.ReconstructAt(view.NumDays() - 1); err != nil {
+			return nil, fmt.Errorf("sanserve: mount %q: view timeline: %w", name, err)
+		}
+	}
+	m := &Mount{
+		Name:      name,
+		Full:      full,
+		View:      view,
+		Run:       run,
+		gen:       s.mountGen.Add(1),
+		ds:        experiments.NewTimelineDataset(s.opts.Cfg, full, view),
+		fullStore: snapstore.NewStore(full, s.opts.SnapCacheDays),
+		viewStore: snapstore.NewStore(view, s.opts.SnapCacheDays),
+	}
+	if run != nil {
+		m.digest = run.ContentDigest()
+	}
+	sp.End()
+	return m, nil
 }
 
 // MountFiles loads and mounts timeline files from disk.
@@ -467,13 +532,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	data, ctype, err, hit := s.figureResult(m, id, lo, hi, format)
 	if err != nil {
-		s.met.figureErrors.Add(1)
-		code := http.StatusInternalServerError
-		var se *statusError
-		if ok := asStatusError(err, &se); ok {
-			code = se.code
-		}
-		httpError(w, code, err.Error())
+		s.writeFigureError(w, err, err.Error())
 		return
 	}
 	// X-Cache feeds the audit row's cache_hit field and lets clients
@@ -500,8 +559,8 @@ func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([
 	ranged := lo > 1 || hi < m.Full.NumDays()
 	s.met.figureRequests.Add(1)
 
-	key := cacheKey{timeline: m.Name, figure: id, lo: lo, hi: hi, format: format}
-	data, ctype, err, hit := s.cache.do(key, func() ([]byte, string, error) {
+	key := cacheKey{timeline: m.Name, gen: m.gen, figure: id, lo: lo, hi: hi, format: format}
+	data, ctype, err, hit := s.cache.do(key, s.gate, func() ([]byte, string, error) {
 		fig, err := s.runFigure(id, m.ds)
 		if err != nil {
 			return nil, "", &statusError{http.StatusNotFound, err.Error()}
@@ -532,12 +591,38 @@ func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([
 		}
 		return encodeFigure(resp, format)
 	})
-	if hit {
-		s.met.cacheHits.Add(1)
-	} else {
-		s.met.cacheMisses.Add(1)
+	// A shed request never reached the cache: counting it as a miss
+	// would skew the hit ratio under overload.
+	if err != errShed {
+		if hit {
+			s.met.cacheHits.Add(1)
+		} else {
+			s.met.cacheMisses.Add(1)
+		}
 	}
 	return data, ctype, err, hit
+}
+
+// writeFigureError maps a figureResult error onto an HTTP response.
+// Shed responses (429) get the Retry-After hint and are not counted
+// as figure errors — admission control working as intended is not a
+// failure; everything else increments sanserve_figure_errors_total.
+func (s *Server) writeFigureError(w http.ResponseWriter, err error, msg string) {
+	code := http.StatusInternalServerError
+	var se *statusError
+	if asStatusError(err, &se) {
+		code = se.code
+	}
+	if code == http.StatusTooManyRequests {
+		secs := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	} else {
+		s.met.figureErrors.Add(1)
+	}
+	httpError(w, code, msg)
 }
 
 // statusError carries an HTTP status through the cache compute path.

@@ -19,15 +19,19 @@ import (
 
 // MountWorkspace loads a scenario-sweep workspace directory (as
 // written by scenario.Sweep / `sangen sweep`) and mounts every run
-// under its scenario name, with manifest provenance attached.
+// under its scenario name, with manifest provenance attached.  The
+// directory is remembered: ReloadWorkspace and the watcher re-read it
+// to hot-swap mounts without a restart.
 func (s *Server) MountWorkspace(dir string) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
 	m, err := scenario.LoadManifest(dir)
 	if err != nil {
 		return fmt.Errorf("sanserve: workspace %s: %w", dir, err)
 	}
 	for i := range m.Runs {
 		run := m.Runs[i]
-		full, view, err := m.Timelines(dir, run)
+		full, view, err := s.loadTimelines(dir, run)
 		if err != nil {
 			return fmt.Errorf("sanserve: workspace %s: %w", dir, err)
 		}
@@ -35,6 +39,7 @@ func (s *Server) MountWorkspace(dir string) error {
 			return err
 		}
 	}
+	s.workspaceDir = dir
 	return nil
 }
 
@@ -108,13 +113,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		}
 		data, _, err, _ := s.figureResult(m, id, lo, hi, "json")
 		if err != nil {
-			s.met.figureErrors.Add(1)
-			code := http.StatusInternalServerError
-			var se *statusError
-			if asStatusError(err, &se) {
-				code = se.code
-			}
-			httpError(w, code, fmt.Sprintf("scenario %q: %v", m.Name, err))
+			s.writeFigureError(w, err, fmt.Sprintf("scenario %q: %v", m.Name, err))
 			return
 		}
 		resp.Scenarios = append(resp.Scenarios, m.Name)

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedManifest builds one well-formed manifest as JSON bytes; the
+// mutations fuzzing derives from it stay structurally close to real
+// workspace indexes.
+func fuzzSeedManifest() []byte {
+	r := Run{
+		Scenario:     "baseline",
+		Title:        "seed",
+		Seed:         42,
+		ConfigDigest: "0123456789abcdef",
+		Days:         12,
+		SocialNodes:  100,
+		SocialLinks:  400,
+		AttrNodes:    9,
+		AttrLinks:    120,
+		FullFile:     "baseline.full.tl",
+		ViewFile:     "baseline.view.tl",
+		FullBytes:    2048,
+		ViewBytes:    1024,
+	}
+	r.Digest = r.ContentDigest()
+	data, err := json.Marshal(&Manifest{Version: 1, Scale: 6, Runs: []Run{r}})
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// FuzzManifest is the native fuzz target for workspace manifest.json
+// parsing (the input `sanserve -workspace` and the hot-reload watcher
+// feed straight from disk).  Arbitrary bytes must either parse into a
+// manifest whose invariants hold or return an error — never panic.
+func FuzzManifest(f *testing.F) {
+	valid := fuzzSeedManifest()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated JSON
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"runs":[]}`))
+	f.Add([]byte(`{"version":99,"runs":[{"scenario":"a","days":1,"full_file":"a.full.tl","view_file":"a.view.tl"}]}`))
+	// Duplicate scenario names map to one workspace file pair.
+	f.Add([]byte(`{"version":1,"runs":[` +
+		`{"scenario":"a","days":1,"full_file":"a.full.tl","view_file":"a.view.tl"},` +
+		`{"scenario":"a","days":1,"full_file":"a.full.tl","view_file":"a.view.tl"}]}`))
+	// Stored digest disagreeing with the provenance fields.
+	f.Add([]byte(`{"version":1,"runs":[{"scenario":"a","days":1,"full_file":"a.full.tl","view_file":"a.view.tl","digest":"feedfacefeedface"}]}`))
+	// Path-escaping timeline file names.
+	f.Add([]byte(`{"version":1,"runs":[{"scenario":"a","days":1,"full_file":"../../etc/passwd","view_file":"a.view.tl"}]}`))
+	f.Add([]byte(`{"version":1,"runs":[{"scenario":"a","days":-3,"full_file":"a.full.tl","view_file":"a.view.tl"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		// Accepted manifests must satisfy every invariant the serving
+		// layer relies on.
+		if m.Version != 1 || len(m.Runs) == 0 {
+			t.Fatalf("accepted manifest violates version/run invariants: %+v", m)
+		}
+		seen := map[string]bool{}
+		for _, r := range m.Runs {
+			if r.Scenario == "" || seen[r.Scenario] {
+				t.Fatalf("accepted manifest has empty or duplicate scenario %q", r.Scenario)
+			}
+			seen[r.Scenario] = true
+			if r.Days <= 0 {
+				t.Fatalf("accepted run %q has day count %d", r.Scenario, r.Days)
+			}
+			for _, file := range []string{r.FullFile, r.ViewFile} {
+				if file == "" || file != filepath.Base(file) {
+					t.Fatalf("accepted run %q has path-escaping file %q", r.Scenario, file)
+				}
+			}
+			if r.Digest != "" && r.Digest != r.ContentDigest() {
+				t.Fatalf("accepted run %q has a digest mismatch", r.Scenario)
+			}
+		}
+		// A reserialized accepted manifest must parse to the same value.
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not remarshal: %v", err)
+		}
+		if _, err := ParseManifest(out); err != nil {
+			t.Fatalf("remarshaled manifest rejected: %v", err)
+		}
+	})
+}
+
+// TestParseManifestTable pins the rejection reasons the fuzz seeds
+// encode, so a refactor cannot silently start accepting them.
+func TestParseManifestTable(t *testing.T) {
+	valid := fuzzSeedManifest()
+	if _, err := ParseManifest(valid); err != nil {
+		t.Fatalf("seed manifest rejected: %v", err)
+	}
+	for name, data := range map[string][]byte{
+		"truncated":       valid[:len(valid)/2],
+		"empty object":    []byte(`{}`),
+		"no runs":         []byte(`{"version":1,"runs":[]}`),
+		"wrong version":   []byte(`{"version":99,"runs":[{"scenario":"a","days":1,"full_file":"a.tl","view_file":"b.tl"}]}`),
+		"duplicate run":   []byte(`{"version":1,"runs":[{"scenario":"a","days":1,"full_file":"a.tl","view_file":"b.tl"},{"scenario":"a","days":1,"full_file":"a.tl","view_file":"b.tl"}]}`),
+		"digest mismatch": []byte(`{"version":1,"runs":[{"scenario":"a","days":1,"full_file":"a.tl","view_file":"b.tl","digest":"feedfacefeedface"}]}`),
+		"path escape":     []byte(`{"version":1,"runs":[{"scenario":"a","days":1,"full_file":"../x.tl","view_file":"b.tl"}]}`),
+		"negative days":   []byte(`{"version":1,"runs":[{"scenario":"a","days":-3,"full_file":"a.tl","view_file":"b.tl"}]}`),
+		"empty name":      []byte(`{"version":1,"runs":[{"scenario":"","days":1,"full_file":"a.tl","view_file":"b.tl"}]}`),
+		"empty file":      []byte(`{"version":1,"runs":[{"scenario":"a","days":1,"full_file":"","view_file":"b.tl"}]}`),
+		"not json at all": []byte("SANTL\x00\x01"),
+	} {
+		if _, err := ParseManifest(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestContentDigestSensitivity: the reload layer keys cache
+// invalidation on this digest, so it must change when (and only when)
+// a field that determines timeline bytes changes.
+func TestContentDigestSensitivity(t *testing.T) {
+	base := Run{Scenario: "s", Seed: 1, ConfigDigest: "d", Days: 5,
+		SocialNodes: 10, SocialLinks: 20, FullFile: "s.full.tl", ViewFile: "s.view.tl",
+		FullBytes: 100, ViewBytes: 50}
+	d0 := base.ContentDigest()
+
+	same := base
+	same.Title = "renamed"
+	same.ElapsedMS = 999
+	if same.ContentDigest() != d0 {
+		t.Error("display/timing fields must not change the content digest")
+	}
+	for name, mutate := range map[string]func(*Run){
+		"seed":          func(r *Run) { r.Seed = 2 },
+		"config digest": func(r *Run) { r.ConfigDigest = "e" },
+		"days":          func(r *Run) { r.Days = 6 },
+		"pack bytes":    func(r *Run) { r.FullBytes = 101 },
+		"final links":   func(r *Run) { r.SocialLinks = 21 },
+	} {
+		r := base
+		mutate(&r)
+		if r.ContentDigest() == d0 {
+			t.Errorf("%s change must change the content digest", name)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,7 +44,30 @@ type Run struct {
 	FullBytes int    `json:"full_bytes"`
 	ViewBytes int    `json:"view_bytes"`
 
+	// Digest is ContentDigest() recorded at sweep time: a checksum of
+	// the provenance fields above.  ParseManifest rejects a manifest
+	// whose stored digest disagrees with a recomputation (a hand-edited
+	// or corrupted manifest); empty means an older manifest without one.
+	Digest string `json:"digest,omitempty"`
+
 	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// ContentDigest is a short stable hash of everything that determines
+// one run's packed timeline bytes: which scenario, which resolved
+// configuration and seed, and the pack statistics of the result.  The
+// serving layer's hot reload compares digests between the mounted
+// manifest and a re-read one to decide which mounts actually changed
+// (and therefore which result-cache entries to invalidate) — an
+// unchanged run keeps its mount and its hot cache.  Timing fields
+// (ElapsedMS) and display fields (Title) are deliberately excluded.
+func (r Run) ContentDigest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d\x00%d,%d,%d,%d\x00%s\x00%s\x00%d,%d",
+		r.Scenario, r.ConfigDigest, r.Seed, r.Days,
+		r.SocialNodes, r.SocialLinks, r.AttrNodes, r.AttrLinks,
+		r.FullFile, r.ViewFile, r.FullBytes, r.ViewBytes)
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // Manifest indexes a sweep workspace.  Runs are sorted by scenario
@@ -214,6 +239,7 @@ func runOne(dir string, s Scenario, cfg gplus.Config, scratch *gplus.Scratch, pr
 	if err := view.WriteFile(filepath.Join(dir, run.ViewFile)); err != nil {
 		return Run{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	run.Digest = run.ContentDigest()
 	run.ElapsedMS = time.Since(start).Milliseconds()
 	return run, nil
 }
@@ -226,6 +252,48 @@ func writeManifest(dir string, m *Manifest) error {
 	return os.WriteFile(filepath.Join(dir, ManifestFile), append(data, '\n'), 0o644)
 }
 
+// ParseManifest decodes and validates manifest bytes without touching
+// the filesystem (the fuzz target for the workspace format).  It
+// rejects wrong versions, empty or duplicated run lists, path-escaping
+// timeline file names, nonsensical day counts, and runs whose stored
+// digest disagrees with a recomputation from the provenance fields —
+// and never panics on arbitrary input.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("scenario: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("scenario: manifest version %d (this build reads %d)", m.Version, manifestVersion)
+	}
+	if len(m.Runs) == 0 {
+		return nil, fmt.Errorf("scenario: manifest lists no runs")
+	}
+	seen := make(map[string]bool, len(m.Runs))
+	for _, r := range m.Runs {
+		if r.Scenario == "" {
+			return nil, fmt.Errorf("scenario: manifest lists a run with no scenario name")
+		}
+		if seen[r.Scenario] {
+			return nil, fmt.Errorf("scenario: manifest lists %q twice", r.Scenario)
+		}
+		seen[r.Scenario] = true
+		if r.Days <= 0 {
+			return nil, fmt.Errorf("scenario: run %q: invalid day count %d", r.Scenario, r.Days)
+		}
+		for _, f := range []string{r.FullFile, r.ViewFile} {
+			if f == "" || f != filepath.Base(f) || f == "." || f == ".." {
+				return nil, fmt.Errorf("scenario: run %q: invalid timeline file name %q", r.Scenario, f)
+			}
+		}
+		if r.Digest != "" && r.Digest != r.ContentDigest() {
+			return nil, fmt.Errorf("scenario: run %q: manifest digest %q does not match its provenance fields (recomputed %q)",
+				r.Scenario, r.Digest, r.ContentDigest())
+		}
+	}
+	return &m, nil
+}
+
 // LoadManifest reads a workspace manifest and sanity-checks it against
 // the files on disk.
 func LoadManifest(dir string) (*Manifest, error) {
@@ -233,36 +301,23 @@ func LoadManifest(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: not a sweep workspace: %w", err)
 	}
-	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("scenario: corrupt manifest in %s: %w", dir, err)
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, dir)
 	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("scenario: manifest version %d (this build reads %d)", m.Version, manifestVersion)
-	}
-	if len(m.Runs) == 0 {
-		return nil, fmt.Errorf("scenario: manifest in %s lists no runs", dir)
-	}
-	seen := make(map[string]bool, len(m.Runs))
 	for _, r := range m.Runs {
-		if seen[r.Scenario] {
-			return nil, fmt.Errorf("scenario: manifest in %s lists %q twice", dir, r.Scenario)
-		}
-		seen[r.Scenario] = true
 		for _, f := range []string{r.FullFile, r.ViewFile} {
-			if f == "" || f != filepath.Base(f) {
-				return nil, fmt.Errorf("scenario: run %q: invalid timeline file name %q", r.Scenario, f)
-			}
 			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 				return nil, fmt.Errorf("scenario: run %q: %w", r.Scenario, err)
 			}
 		}
 	}
-	return &m, nil
+	return m, nil
 }
 
-// Timelines loads one run's packed timeline pair from the workspace.
-func (m *Manifest) Timelines(dir string, r Run) (full, view *snapstore.Timeline, err error) {
+// Timelines loads one run's packed timeline pair from a workspace
+// directory.
+func Timelines(dir string, r Run) (full, view *snapstore.Timeline, err error) {
 	if full, err = snapstore.LoadFile(filepath.Join(dir, r.FullFile)); err != nil {
 		return nil, nil, fmt.Errorf("scenario: run %q: %w", r.Scenario, err)
 	}
@@ -270,4 +325,9 @@ func (m *Manifest) Timelines(dir string, r Run) (full, view *snapstore.Timeline,
 		return nil, nil, fmt.Errorf("scenario: run %q: %w", r.Scenario, err)
 	}
 	return full, view, nil
+}
+
+// Timelines loads one run's packed timeline pair from the workspace.
+func (m *Manifest) Timelines(dir string, r Run) (full, view *snapstore.Timeline, err error) {
+	return Timelines(dir, r)
 }
