@@ -2,6 +2,7 @@ package repro
 
 import (
 	"math/rand/v2"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/san"
 	"repro/internal/scenario"
+	"repro/internal/snapstore"
 	"repro/internal/stats"
 	"repro/internal/zhel"
 )
@@ -123,6 +125,33 @@ func BenchmarkSimulate(b *testing.B) {
 	runtime.ReadMemStats(&m1)
 	if allocs := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); allocs > simulateAllocCeiling {
 		b.Fatalf("BenchmarkSimulate allocates %.0f objects/op (ceiling %d): simulator scratch reuse regressed", allocs, simulateAllocCeiling)
+	}
+}
+
+// BenchmarkStreamPack measures the streaming pack path at the same
+// quick scale as BenchmarkSimulate: StreamTimelines through a
+// snapstore.StreamWriter to a finalized on-disk timeline, the kernel
+// behind `sangen -stream-out` and every crawl-scale run.  It streams
+// only the full SAN (no view sink), so it runs well under
+// BenchmarkSimulate, which also builds the crawl view each day; the
+// committed baseline pins the cost of spilling every day to disk.
+func BenchmarkStreamPack(b *testing.B) {
+	dir := b.TempDir()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := gplus.DefaultConfig()
+		cfg.DailyBase = 100
+		cfg.Seed = uint64(i + 1)
+		w, err := snapstore.NewStreamWriter(filepath.Join(dir, "bench.tl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := gplus.New(cfg).StreamTimelines(1, 0, w, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Finalize(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

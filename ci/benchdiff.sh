@@ -30,11 +30,13 @@ SNAPSTORE_BENCHES='^(BenchmarkTimelineLoad|BenchmarkTimelineMap)$'
 SANSERVE_BENCHES='^(BenchmarkCachedFigureRequest|BenchmarkCachedCompareRequest|BenchmarkSnapshotStats)$'
 # The incremental dataset build (the first-touch cost of a sanserve
 # mount) and the simulator core (BenchmarkSimulate: quick-scale
-# RunTimelines with its allocation ceiling; BenchmarkSweep: the
-# parallel scenario sweep).  The recompute twin is benchmarked too so
-# the committed baseline documents the fold's speedup ratio and a
+# RunTimelines with its allocation ceiling; BenchmarkStreamPack: the
+# same simulation streamed through a StreamWriter to a finalized
+# on-disk timeline, the `sangen -stream-out` kernel; BenchmarkSweep:
+# the parallel scenario sweep).  The recompute twin is benchmarked too
+# so the committed baseline documents the fold's speedup ratio and a
 # regression in either path trips the gate.
-ROOT_BENCHES='^(BenchmarkDatasetBuild|BenchmarkDatasetBuildRecompute|BenchmarkSimulate|BenchmarkSweep)$'
+ROOT_BENCHES='^(BenchmarkDatasetBuild|BenchmarkDatasetBuildRecompute|BenchmarkSimulate|BenchmarkStreamPack|BenchmarkSweep)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

@@ -29,6 +29,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/gplus"
 	"repro/internal/obs"
@@ -129,16 +130,29 @@ func runSweep(args []string, w io.Writer) error {
 func runGenerate(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sangen", flag.ExitOnError)
 	var (
-		model    = fs.String("model", "san", "generator: san, zhel, or gplus")
-		n        = fs.Int("n", 10000, "node arrivals (san/zhel models)")
-		scale    = fs.Int("scale", 400, "gplus DailyBase arrival scale")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		observed = fs.Bool("observed", false, "gplus: emit the crawl view (declared attributes only)")
-		out      = fs.String("o", "", "output file (default stdout)")
-		beta     = fs.Float64("beta", 200, "san: LAPA attribute weight β")
-		focal    = fs.Float64("fc", 1, "san: focal-closure weight fc")
+		model     = fs.String("model", "san", "generator: san, zhel, or gplus")
+		n         = fs.Int("n", 10000, "node arrivals (san/zhel models)")
+		scale     = fs.Int("scale", 400, "gplus DailyBase arrival scale")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		observed  = fs.Bool("observed", false, "gplus: emit the crawl view (declared attributes only)")
+		out       = fs.String("o", "", "output file (default stdout)")
+		beta      = fs.Float64("beta", 200, "san: LAPA attribute weight β")
+		focal     = fs.Float64("fc", 1, "san: focal-closure weight fc")
+		days      = fs.Int("days", 0, "gplus: override the simulated horizon (0 = default)")
+		streamOut = fs.String("stream-out", "", "gplus: stream a packed timeline to this file (bounded memory; no text output)")
+		ckptEvery = fs.Int("checkpoint-every", 0, "with -stream-out: persist resumable state every N days (0 = never)")
+		resume    = fs.String("resume", "", "continue an interrupted -stream-out run from its checkpoint directory")
+		stopAfter = fs.Int("stop-after", 0, "with -stream-out: stop after day N, leaving a checkpoint to resume from")
+		progress  = fs.Bool("progress", false, "emit periodic progress (days, links, packed bytes, RSS) to stderr")
 	)
 	fs.Parse(args)
+
+	if *resume != "" {
+		return runResume(*resume, *stopAfter, *progress)
+	}
+	if *streamOut == "" && (*ckptEvery > 0 || *stopAfter > 0) {
+		return fmt.Errorf("-checkpoint-every and -stop-after require -stream-out")
+	}
 
 	var g *san.SAN
 	switch *model {
@@ -159,8 +173,14 @@ func runGenerate(args []string, w io.Writer) error {
 		cfg := gplus.DefaultConfig()
 		cfg.DailyBase = *scale
 		cfg.Seed = *seed
+		if *days > 0 {
+			cfg.Days = *days
+		}
 		if err := cfg.Validate(); err != nil {
 			return err
+		}
+		if *streamOut != "" {
+			return runStream(cfg, *streamOut, *observed, *ckptEvery, *stopAfter, *progress)
 		}
 		sim := gplus.New(cfg)
 		sim.Run(nil)
@@ -172,17 +192,21 @@ func runGenerate(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown model %q", *model)
 	}
+	if *streamOut != "" {
+		return fmt.Errorf("-stream-out requires -model gplus (the %s generator has no daily timeline)", *model)
+	}
 
-	var dst io.Writer = w
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// Atomic temp+rename, with write AND close errors propagated: a
+		// full disk used to surface only as a silently truncated file,
+		// because the deferred Close error went nowhere.
+		if err := atomicio.WriteFile(*out, func(dst io.Writer) error {
+			_, err := g.WriteTo(dst)
+			return err
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		dst = f
-	}
-	if _, err := g.WriteTo(dst); err != nil {
+	} else if _, err := g.WriteTo(w); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "sangen: %d social nodes, %d social links, %d attribute nodes, %d attribute links\n",

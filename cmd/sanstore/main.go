@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/gplus"
 	"repro/internal/san"
 	"repro/internal/snapstore"
@@ -82,16 +83,29 @@ func runPack(args []string, w io.Writer) error {
 	cfg.DailyBase = *scale
 	cfg.Days = *days
 	cfg.Seed = *seed
-	tl, err := gplus.PackTimeline(cfg, *observed)
+	// Stream each day's record to disk as it is packed: memory stays
+	// bounded by the live network, and the finalized file is
+	// byte-identical to the in-memory Timeline encoding.
+	sw, err := snapstore.NewStreamWriter(*out)
 	if err != nil {
 		return err
 	}
-	if err := tl.WriteFile(*out); err != nil {
+	defer sw.Abort()
+	var full, view snapstore.DaySink
+	if *observed {
+		view = sw
+	} else {
+		full = sw
+	}
+	if err := gplus.New(cfg).StreamTimelines(1, 0, full, view, nil); err != nil {
+		return err
+	}
+	if err := sw.Finalize(); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "packed %d days, %d bytes (%.1f bytes/day after day 0) -> %s\n",
-		tl.NumDays(), tl.Size(),
-		float64(tl.Size()-tl.DaySize(0))/float64(max(tl.NumDays()-1, 1)), *out)
+		sw.NumDays(), sw.PackedBytes(),
+		float64(sw.PackedBytes()-sw.DayLen(0))/float64(max(sw.NumDays()-1, 1)), *out)
 	return nil
 }
 
@@ -162,12 +176,13 @@ func runExtract(args []string, w io.Writer) error {
 		return err
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// Atomic temp+rename with close errors propagated: a full disk
+		// used to surface only as a silently truncated file, because
+		// the deferred Close error went nowhere.
+		return atomicio.WriteFile(*out, func(dst io.Writer) error {
+			_, err := g.WriteTo(dst)
 			return err
-		}
-		defer f.Close()
-		w = f
+		})
 	}
 	_, err = g.WriteTo(w)
 	return err

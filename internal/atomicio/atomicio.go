@@ -1,0 +1,65 @@
+// Package atomicio writes files atomically: content streams into a
+// temporary file in the destination directory, is fsynced, closed with
+// the close error propagated (a full disk surfaces as an error instead
+// of a silently truncated artifact), and renamed over the destination
+// in one step.  A crash — or a concurrent reader such as the sanserve
+// reload watcher polling a workspace — therefore observes either the
+// complete old file or the complete new one, never a torn write.
+package atomicio
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// closeFile is the close step of WriteFile, indirect so the close-error
+// regression test can make it fail: with plain os.File writes the
+// kernel accepts the bytes into the page cache and reports the ENOSPC
+// only at fsync/close time, which cannot be provoked portably in a unit
+// test.
+var closeFile = func(f *os.File) error { return f.Close() }
+
+// WriteFile atomically replaces path with the bytes fn writes.  The
+// content goes to a temporary file in path's directory (same
+// filesystem, so the final rename is atomic); any error — from fn, the
+// flush, the fsync, the close, or the rename — removes the temporary
+// file and leaves an existing destination untouched.
+func WriteFile(path string, fn func(w io.Writer) error) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	bw := bufio.NewWriter(tmp)
+	if err := fn(bw); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	// CreateTemp creates 0600; published artifacts keep the historical
+	// os.Create permissions (modulo umask).
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := closeFile(tmp); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

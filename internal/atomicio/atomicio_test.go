@@ -1,0 +1,136 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readAll(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// noLitter asserts the directory holds exactly the named files: failed
+// writes must not leave temporary files behind.
+func noLitter(t *testing.T, dir string, want ...string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range ents {
+		got = append(got, e.Name())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("directory litter: have %v, want %v", got, want)
+	}
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, path); got != "hello" {
+		t.Fatalf("content %q", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Errorf("mode %v, want 0644", info.Mode().Perm())
+	}
+	noLitter(t, dir, "out.bin")
+}
+
+// TestWriteFileKilledMidStream is the torn-write regression: a write
+// that dies partway through (fn errors after emitting some bytes) must
+// leave the previous file byte-for-byte intact and no temp litter.
+func TestWriteFileKilledMidStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("killed mid-stream")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, strings.Repeat("partial", 1000)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want %v", err, boom)
+	}
+	if got := readAll(t, path); got != "old content" {
+		t.Fatalf("old file clobbered: %q", got)
+	}
+	noLitter(t, dir, "out.bin")
+}
+
+// TestWriteFileClosePropagates pins the Close() error path: when the
+// final close fails (how a full disk surfaces for page-cached writes),
+// WriteFile must report it and must not publish the destination.
+func TestWriteFileClosePropagates(t *testing.T) {
+	closeErr := errors.New("close: no space left on device")
+	orig := closeFile
+	closeFile = func(f *os.File) error {
+		f.Close()
+		return closeErr
+	}
+	defer func() { closeFile = orig }()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "doomed")
+		return err
+	})
+	if !errors.Is(err, closeErr) {
+		t.Fatalf("error %v, want close error", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("destination was published despite a failed close")
+	}
+	noLitter(t, dir)
+}
+
+func TestWriteFileRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	// A directory at the destination makes the rename fail after a
+	// fully successful write+close.
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "data")
+		return err
+	})
+	if err == nil {
+		t.Fatal("rename over a directory must fail")
+	}
+	noLitter(t, dir, "occupied")
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("writing into a missing directory must fail")
+	}
+}

@@ -193,11 +193,7 @@ func (at *Attacher) sample(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) 
 	// Exact mixture sampling: total weight splits into the attribute-
 	// blind base Σ(d+1)^α and the bonus carried by nodes sharing
 	// attributes with u.
-	limit := at.EnumLimit
-	if limit <= 0 {
-		limit = 4000
-	}
-	shared, ok := at.buildShared(g, u, limit)
+	shared, prefix, bonusTotal, baseTotal, ok := at.prepareMixture(g, u)
 	if !ok {
 		// Too popular to enumerate exactly; approximate.
 		if v := at.sampleHeuristic(g, u, rng); v >= 0 {
@@ -205,22 +201,46 @@ func (at *Attacher) sample(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) 
 		}
 		return at.sampleBase(g, u, rng, fast)
 	}
+	return at.mixtureDraw(g, u, rng, fast, shared, prefix, bonusTotal, baseTotal)
+}
+
+// prepareMixture builds the rng-free half of exact mixture sampling for
+// source u against the *current* network state: the shared-attribute
+// candidate list, its bonus prefix-sum table, and the base/bonus mass
+// split.  It reports false when u's attribute communities are too
+// popular to enumerate exactly (the caller approximates instead).  The
+// returned slices are scratch-owned and stay valid only while the
+// network does not mutate and no other prepareMixture call runs.
+func (at *Attacher) prepareMixture(g *san.SAN, u san.NodeID) (shared []sharedCand, prefix []float64, bonusTotal, baseTotal float64, ok bool) {
+	limit := at.EnumLimit
+	if limit <= 0 {
+		limit = 4000
+	}
+	shared, ok = at.buildShared(g, u, limit)
+	if !ok {
+		return nil, nil, 0, 0, false
+	}
 	// Candidate weights accumulate into a prefix-sum table in node-ID
 	// order (the order the old linear scan consumed them in), so a
 	// single uniform draw binary-searches to the index the scan picks.
 	scr := at.scratch()
-	prefix := scr.prefix[:0]
-	var bonusTotal float64
+	prefix = scr.prefix[:0]
 	for i := range shared {
 		w := math.Pow(float64(g.InDegree(shared[i].v))+1, at.Alpha) * at.bonusFactor(shared[i].a)
 		bonusTotal += w
 		prefix = append(prefix, bonusTotal)
 	}
 	scr.prefix = prefix
-	baseTotal := at.sumPow - math.Pow(float64(g.InDegree(u))+1, at.Alpha)
+	baseTotal = at.sumPow - math.Pow(float64(g.InDegree(u))+1, at.Alpha)
 	if baseTotal < 0 {
 		baseTotal = 0
 	}
+	return shared, prefix, bonusTotal, baseTotal, true
+}
+
+// mixtureDraw resolves one target from a prepared mixture, consuming
+// exactly the rng draws the historical inline loop consumed.
+func (at *Attacher) mixtureDraw(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool, shared []sharedCand, prefix []float64, bonusTotal, baseTotal float64) san.NodeID {
 	for tries := 0; tries < 64; tries++ {
 		var v san.NodeID
 		if rng.Float64()*(baseTotal+bonusTotal) < bonusTotal {
@@ -233,6 +253,41 @@ func (at *Attacher) sample(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) 
 		}
 	}
 	return at.fallbackScan(g, u, rng)
+}
+
+// SampleBatch draws k targets for source u, appended to dst.  It is
+// draw-for-draw equivalent to k sequential Sample calls — same results,
+// same rng stream — under the commuting condition: no node or edge may
+// be inserted between the draws (including by the caller consuming
+// earlier results), because Sample's candidate enumeration and weight
+// tables are functions of the network state at call time.  When the
+// condition holds, the enumeration provably commutes past the draws and
+// SampleBatch hoists it: the shared-candidate scan and prefix-sum build
+// (both rng-free) run once instead of k times, which is the dominant
+// cost for attribute-heavy sources.  Callers that insert the sampled
+// edges as they go (the simulator's wake loop) must keep calling Sample
+// per draw — their draw stream does not commute.
+func (at *Attacher) SampleBatch(g *san.SAN, u san.NodeID, rng *rand.Rand, k int, dst []san.NodeID) []san.NodeID {
+	if k <= 0 {
+		return dst
+	}
+	attrAware := at.Kind == AttachLAPA || at.Kind == AttachPAPA
+	hoistable := attrAware && !at.Heuristic && at.Beta != 0 &&
+		g.AttrDegree(u) != 0 && g.NumSocial() >= 2
+	if hoistable {
+		if shared, prefix, bonusTotal, baseTotal, ok := at.prepareMixture(g, u); ok {
+			for i := 0; i < k; i++ {
+				dst = append(dst, at.mixtureDraw(g, u, rng, true, shared, prefix, bonusTotal, baseTotal))
+			}
+			return dst
+		}
+		// Enumeration over limit: the per-draw path falls back to the
+		// heuristic exactly as Sample does.
+	}
+	for i := 0; i < k; i++ {
+		dst = append(dst, at.sample(g, u, rng, true))
+	}
+	return dst
 }
 
 // sharedCand is one attribute-sharing candidate.

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/san"
+)
+
+// TestSampleBatchStreamEquivalence pins SampleBatch's contract: with no
+// graph mutations between draws, a batch of k draws is draw-for-draw
+// identical to k sequential Sample calls — same picks, same number of
+// rng draws — across both the hoisted mixture path (attribute-aware
+// kinds) and every fallback to per-draw sampling.
+func TestSampleBatchStreamEquivalence(t *testing.T) {
+	cases := []struct {
+		name        string
+		kind        AttachKind
+		alpha, beta float64
+		heuristic   bool
+	}{
+		{"lapa", AttachLAPA, 1, 200, false},            // hoisted mixture path
+		{"lapa-sublinear", AttachLAPA, 0.6, 40, false}, // hoisted, general α
+		{"papa", AttachPAPA, 1, 2, false},              // hoisted
+		{"lapa-heuristic", AttachLAPA, 1, 200, true},   // falls back per draw
+		{"lapa-beta-zero", AttachLAPA, 1, 0, false},    // falls back per draw
+		{"uniform", AttachUniform, 0, 0, false},        // falls back per draw
+		{"pa", AttachPA, 1, 0, false},                  // falls back per draw
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildAttachGraph(t)
+			batch := NewAttacher(tc.kind, tc.alpha, tc.beta)
+			seq := NewAttacher(tc.kind, tc.alpha, tc.beta)
+			batch.Heuristic, seq.Heuristic = tc.heuristic, tc.heuristic
+			notifyAll(batch, g)
+			notifyAll(seq, g)
+			rngB := rand.New(rand.NewPCG(13, 37))
+			rngS := rand.New(rand.NewPCG(13, 37))
+			n := g.NumSocial()
+			var dst []san.NodeID
+			for trial := 0; trial < 300; trial++ {
+				u := san.NodeID(trial % n)
+				k := 1 + trial%7
+				dst = batch.SampleBatch(g, u, rngB, k, dst[:0])
+				if len(dst) != k {
+					t.Fatalf("trial %d: batch returned %d draws, want %d", trial, len(dst), k)
+				}
+				for i := 0; i < k; i++ {
+					want := seq.Sample(g, u, rngS)
+					if dst[i] != want {
+						t.Fatalf("trial %d draw %d (source %d): batch picked %d, sequential picked %d",
+							trial, i, u, dst[i], want)
+					}
+				}
+			}
+			if rngB.Uint64() != rngS.Uint64() {
+				t.Fatal("batch and sequential sampling consumed different numbers of rng draws")
+			}
+		})
+	}
+}
+
+// TestSampleBatchAttrlessSource exercises the fallback for a source
+// with no attributes (the mixture cannot be hoisted) and k=0.
+func TestSampleBatchAttrlessSource(t *testing.T) {
+	g := san.New(4, 0, 4)
+	g.AddSocialNodes(4)
+	g.AddSocialEdge(1, 2)
+	g.AddSocialEdge(2, 3)
+	at := NewAttacher(AttachLAPA, 1, 200)
+	notifyAll(at, g)
+	rng := rand.New(rand.NewPCG(1, 2))
+	if got := at.SampleBatch(g, 0, rng, 0, nil); len(got) != 0 {
+		t.Fatalf("k=0 returned %d draws", len(got))
+	}
+	got := at.SampleBatch(g, 0, rng, 5, nil)
+	if len(got) != 5 {
+		t.Fatalf("returned %d draws, want 5", len(got))
+	}
+	for i, v := range got {
+		if v < 0 || v > 3 || v == 0 {
+			t.Fatalf("draw %d: invalid pick %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/san"
+)
+
+// AttacherState is the resumable sampler state an Attacher accumulates
+// while the simulator notifies it of nodes and edges.  None of it is
+// reconstructible bit-exactly from the graph alone:
+//
+//   - SumPow is accumulated incrementally (one += per edge), and float
+//     addition is order-dependent for general α, so recomputing it by a
+//     fresh summation would diverge from the live value in the last
+//     ulps — enough to flip a Fenwick descent and fork the rng stream;
+//   - Ballot is the global edge-insertion-order target list, which the
+//     windowed sampler (SamplePAWindow) slices positionally — the SAN's
+//     per-node adjacency cannot recover the cross-node interleaving;
+//   - Tree carries the same incremental float sums in Fenwick form.
+//
+// Checkpoints therefore serialize the state verbatim (floats as bits)
+// and Restore installs it verbatim.
+type AttacherState struct {
+	SumPow float64
+	N      int
+	Ballot []san.NodeID
+	// Tree is the Fenwick array (1-based; Tree[0] unused) when the
+	// general-α index is live, nil otherwise.
+	Tree  []float64
+	TreeN int
+}
+
+// State captures the attacher's resumable state.  The returned slices
+// alias the attacher's internals: serialize before sampling continues.
+func (at *Attacher) State() AttacherState {
+	st := AttacherState{SumPow: at.sumPow, N: at.n, Ballot: at.ballot}
+	if at.tree != nil {
+		st.Tree, st.TreeN = at.tree.tree, at.tree.n
+	}
+	return st
+}
+
+// Restore installs state captured by State into an attacher built with
+// the same NewAttacher parameters, taking ownership of the slices.
+func (at *Attacher) Restore(st AttacherState) error {
+	if st.N < 0 || len(st.Ballot) < 0 {
+		return fmt.Errorf("core: negative attacher state dimensions")
+	}
+	at.sumPow = st.SumPow
+	at.n = st.N
+	at.ballot = st.Ballot
+	if st.Tree != nil {
+		if len(st.Tree) != st.TreeN+1 {
+			return fmt.Errorf("core: fenwick state length %d does not match n=%d", len(st.Tree), st.TreeN)
+		}
+		at.tree = &weightFenwick{tree: st.Tree, n: st.TreeN}
+	} else if at.generalAlpha() && st.N > 0 {
+		return fmt.Errorf("core: attacher state for α=%v is missing its fenwick index", at.Alpha)
+	}
+	return nil
+}

@@ -303,6 +303,9 @@ type Simulator struct {
 	attacher *core.Attacher
 	catalog  *catalog
 	scr      *Scratch
+	// rngSrc is the PCG source behind Rng, retained because rand.Rand
+	// hides it: checkpoints marshal the generator state through it.
+	rngSrc *rand.PCG
 	// ftw is Cfg.FocalTypeWeight flattened into a dense per-type table
 	// (closeTriangle reads it once per attribute per wake-up).
 	ftw [san.NumAttrTypes]float64
@@ -326,10 +329,12 @@ func New(cfg Config) *Simulator {
 // running many simulations back to back (the sweep runner) reuses one
 // set of buffers instead of re-allocating per scenario.
 func NewWithScratch(cfg Config, sc *Scratch) *Simulator {
+	src := rand.NewPCG(cfg.Seed, cfg.Seed^0xbb67ae8584caa73b)
 	s := &Simulator{
 		Cfg:      cfg,
 		G:        san.New(cfg.DailyBase*40, cfg.DailyBase*8, cfg.DailyBase*400),
-		Rng:      rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xbb67ae8584caa73b)),
+		Rng:      rand.New(src),
+		rngSrc:   src,
 		attacher: core.NewAttacher(cfg.Attachment, cfg.Alpha, cfg.Beta),
 		scr:      sc,
 	}
@@ -365,8 +370,22 @@ func NewWithScratch(cfg Config, sc *Scratch) *Simulator {
 // Run simulates all configured days; perDay (optional) observes the
 // network at the end of each day, mirroring the daily crawl snapshots.
 func (s *Simulator) Run(perDay func(day int, g *san.SAN)) *san.SAN {
+	return s.runRange(1, s.Cfg.Days, perDay)
+}
+
+// RunFrom continues the simulation from startDay through the configured
+// horizon.  It is the resume entry point: a simulator reconstructed by
+// ReadSimulator from a checkpoint taken at the end of day startDay-1
+// replays days startDay..Days exactly as the uninterrupted run would
+// have (same rng stream, same event order, bitwise-identical network).
+func (s *Simulator) RunFrom(startDay int, perDay func(day int, g *san.SAN)) *san.SAN {
+	return s.runRange(startDay, s.Cfg.Days, perDay)
+}
+
+// runRange simulates days startDay..stopDay inclusive.
+func (s *Simulator) runRange(startDay, stopDay int, perDay func(day int, g *san.SAN)) *san.SAN {
 	prevNodes, prevLinks := s.G.NumSocial(), s.G.NumSocialEdges()
-	for day := 1; day <= s.Cfg.Days; day++ {
+	for day := startDay; day <= stopDay; day++ {
 		s.day = day
 		arrivals := s.Cfg.ArrivalsOn(day)
 		for i := 0; i < arrivals; i++ {

@@ -1,58 +1,123 @@
 package gplus
 
 import (
+	"fmt"
+
 	"repro/internal/san"
 	"repro/internal/snapstore"
 )
 
-// RunTimelines simulates all configured days and packs each day's end
-// state into snapstore timelines — the storage-layer analogue of the
-// paper's 79 daily crawl snapshots.  Two timelines are emitted in
-// lockstep: the full hidden-attribute SAN and the crawl view (declared
-// attribute links only), both indexed so timeline day d-1 is simulated
-// day d.  perDay (optional) observes each day's full SAN and crawl
-// view as they are packed; the views passed to it are fresh and may be
-// retained.
+// StreamTimelines simulates days startDay..stopDay (stopDay <= 0 means
+// the configured horizon) and packs each day's end state into the given
+// sinks: full receives the hidden-attribute SAN, view the crawl view
+// (declared attribute links only).  Either sink may be nil; the crawl
+// view is only materialized when something consumes it, so a full-only
+// stream never pays the per-day clone.  Streaming sinks
+// (snapstore.StreamWriter) bound resident memory by the live SAN plus
+// one day's record — the whole-timeline residency of the in-memory
+// Builder path is what capped runs below crawl scale.
+//
+// perDay (optional) observes each day after its records are packed; v
+// is nil when no view sink is set.  A non-nil perDay error — or any
+// sink error — stops packing and is returned; checkpoint hooks use the
+// error path to abort a run whose state can no longer be persisted.
 //
 // The simulation's evolution is append-only (nodes and links are only
 // ever added), which is what lets every day after the first pack as a
 // forward delta instead of a full snapshot.
-func (s *Simulator) RunTimelines(perDay func(day int, full, view *san.SAN)) (full, view *snapstore.Timeline, err error) {
-	fb, vb := snapstore.NewBuilder(), snapstore.NewBuilder()
-	var buildErr error
+func (s *Simulator) StreamTimelines(startDay, stopDay int, full, view snapstore.DaySink, perDay func(day int, g, v *san.SAN) error) error {
+	if stopDay <= 0 || stopDay > s.Cfg.Days {
+		stopDay = s.Cfg.Days
+	}
+	if startDay < 1 {
+		startDay = 1
+	}
+	sinks := 0
+	if full != nil {
+		sinks++
+	}
+	if view != nil {
+		sinks++
+	}
+	var runErr error
 	packedBytes := 0
-	s.Run(func(day int, g *san.SAN) {
-		if buildErr != nil {
+	if s.Progress != nil {
+		packedBytes = sinkBytes(full, view)
+	}
+	s.runRange(startDay, stopDay, func(day int, g *san.SAN) {
+		if runErr != nil {
 			return
 		}
-		v := s.CrawlView()
-		if err := fb.Append(g); err != nil {
-			buildErr = err
-			return
+		var v *san.SAN
+		if view != nil {
+			v = s.CrawlView()
 		}
-		if err := vb.Append(v); err != nil {
-			buildErr = err
-			return
+		if full != nil {
+			if err := full.Append(g); err != nil {
+				runErr = fmt.Errorf("gplus: packing day %d: %w", day, err)
+				return
+			}
 		}
-		if s.Progress != nil {
-			now := fb.PackedBytes() + vb.PackedBytes()
-			s.Progress.AddDeltas(2)
+		if view != nil {
+			if err := view.Append(v); err != nil {
+				runErr = fmt.Errorf("gplus: packing day %d view: %w", day, err)
+				return
+			}
+		}
+		if s.Progress != nil && sinks > 0 {
+			now := sinkBytes(full, view)
+			s.Progress.AddDeltas(sinks)
 			s.Progress.AddBytes(now - packedBytes)
 			packedBytes = now
 		}
 		if perDay != nil {
-			perDay(day, g, v)
+			if err := perDay(day, g, v); err != nil {
+				runErr = err
+			}
 		}
 	})
-	if buildErr != nil {
-		return nil, nil, buildErr
+	return runErr
+}
+
+func sinkBytes(full, view snapstore.DaySink) int {
+	n := 0
+	if full != nil {
+		n += full.PackedBytes()
+	}
+	if view != nil {
+		n += view.PackedBytes()
+	}
+	return n
+}
+
+// RunTimelines simulates all configured days and packs each day's end
+// state into in-memory snapstore timelines — the storage-layer analogue
+// of the paper's 79 daily crawl snapshots.  Two timelines are emitted
+// in lockstep: the full hidden-attribute SAN and the crawl view
+// (declared attribute links only), both indexed so timeline day d-1 is
+// simulated day d.  perDay (optional) observes each day's full SAN and
+// crawl view as they are packed; the views passed to it are fresh and
+// may be retained.  Crawl-scale runs stream through StreamTimelines
+// instead of materializing both timelines.
+func (s *Simulator) RunTimelines(perDay func(day int, full, view *san.SAN)) (full, view *snapstore.Timeline, err error) {
+	fb, vb := snapstore.NewBuilder(), snapstore.NewBuilder()
+	var hook func(day int, g, v *san.SAN) error
+	if perDay != nil {
+		hook = func(day int, g, v *san.SAN) error {
+			perDay(day, g, v)
+			return nil
+		}
+	}
+	if err := s.StreamTimelines(1, 0, fb, vb, hook); err != nil {
+		return nil, nil, err
 	}
 	return fb.Timeline(), vb.Timeline(), nil
 }
 
 // PackTimeline runs a fresh simulation of cfg and returns the packed
 // timeline of either the full SAN or the crawl view.  It is the
-// one-call path used by cmd/sanstore and the benchmarks.
+// one-call path used by the tests and benchmarks; cmd/sanstore streams
+// the equivalent bytes to disk without the in-memory timeline.
 func PackTimeline(cfg Config, observed bool) (*snapstore.Timeline, error) {
 	full, view, err := New(cfg).RunTimelines(nil)
 	if err != nil {

@@ -24,6 +24,7 @@ type Progress struct {
 	links     atomic.Int64
 	deltas    atomic.Int64
 	bytes     atomic.Int64
+	rss       atomic.Int64
 }
 
 // NewProgress returns a Progress starting its clock now.
@@ -65,6 +66,14 @@ func (p *Progress) Deltas() int64 { return p.deltas.Load() }
 // Bytes returns the packed-bytes counter (gauge read).
 func (p *Progress) Bytes() int64 { return p.bytes.Load() }
 
+// SetRSS records the latest resident-set-size sample in bytes.  Tick
+// samples CurrentRSS automatically; producers with their own sampling
+// cadence may set it directly.
+func (p *Progress) SetRSS(n int64) { p.rss.Store(n) }
+
+// RSS returns the last recorded resident-set-size sample (gauge read).
+func (p *Progress) RSS() int64 { return p.rss.Load() }
+
 // ProgressSnapshot is one consistent-enough reading of the counters.
 type ProgressSnapshot struct {
 	Label     string
@@ -75,6 +84,9 @@ type ProgressSnapshot struct {
 	Links     int64
 	Deltas    int64
 	Bytes     int64
+	// RSS is the last resident-set-size sample in bytes (0 when never
+	// sampled, e.g. where procfs is unavailable).
+	RSS int64
 	// ETA extrapolates the remaining days from the per-day pace so
 	// far; it is negative when no pace is established yet.
 	ETA time.Duration
@@ -91,6 +103,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Links:     p.links.Load(),
 		Deltas:    p.deltas.Load(),
 		Bytes:     p.bytes.Load(),
+		RSS:       p.rss.Load(),
 		ETA:       -1,
 	}
 	if s.Days > 0 && s.TotalDays > s.Days {
@@ -110,6 +123,9 @@ func (s ProgressSnapshot) String() string {
 	line += fmt.Sprintf(" days, %d nodes, %d links", s.Nodes, s.Links)
 	if s.Deltas > 0 {
 		line += fmt.Sprintf(", %d deltas (%.1f KiB)", s.Deltas, float64(s.Bytes)/1024)
+	}
+	if s.RSS > 0 {
+		line += fmt.Sprintf(", rss %.0f MiB", float64(s.RSS)/(1<<20))
 	}
 	line += fmt.Sprintf(", elapsed %s", s.Elapsed.Round(time.Millisecond))
 	if s.ETA >= 0 {
@@ -134,8 +150,10 @@ func (p *Progress) Tick(interval time.Duration, emit func(ProgressSnapshot)) (st
 		for {
 			select {
 			case <-t.C:
+				p.SetRSS(CurrentRSS())
 				emit(p.Snapshot())
 			case <-stopc:
+				p.SetRSS(CurrentRSS())
 				emit(p.Snapshot())
 				return
 			}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// CurrentRSS returns the process's resident set size in bytes, read
+// from /proc/self/statm, or 0 where procfs is unavailable.  Streaming
+// runs sample it to prove the point of streaming: resident memory
+// bounded by the live network, not the timeline.
+func CurrentRSS() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := bytes.Fields(data)
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}
+
+// PeakRSS returns the process's peak resident set size in bytes (VmHWM
+// from /proc/self/status), or 0 where procfs is unavailable.  Unlike
+// CurrentRSS it cannot miss a transient spike between samples, which is
+// what the bounded-memory tests assert against.
+func PeakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -1,0 +1,173 @@
+package san
+
+import (
+	"fmt"
+	"slices"
+)
+
+// State is the complete resumable representation of a SAN: every
+// adjacency dimension in *insertion order*.  The snapshot codec in
+// snapstore canonicalizes adjacency to sorted order, which round-trips
+// the graph but not the simulator: samplers index Out(u) and
+// Members(a) positionally, so a checkpointed simulation can only
+// continue bit-identically if the restored lists preserve the order
+// links were inserted in.  State is that order-preserving form.
+//
+// Only the forward lists plus the attribute catalog are authoritative;
+// FromState rebuilds the sorted membership indexes, the name index,
+// the edge counts, the mutual-edge counter and the per-attribute
+// in-degree envelopes, and validates that In is a consistent transpose
+// of Out.
+type State struct {
+	Out     [][]NodeID // social out-adjacency, insertion order
+	In      [][]NodeID // social in-adjacency, insertion order
+	Attr    [][]AttrID // attribute lists, insertion order
+	Members [][]NodeID // attribute membership, insertion order
+
+	AttrNames []string
+	AttrTypes []AttrType
+}
+
+// ExportState captures g's state.  The returned slices alias g's
+// internals: callers serialize them before mutating g further.
+func (g *SAN) ExportState() State {
+	return State{
+		Out:       g.out,
+		In:        g.in,
+		Attr:      g.attr,
+		Members:   g.members,
+		AttrNames: g.attrName,
+		AttrTypes: g.attrType,
+	}
+}
+
+// FromState reconstructs a SAN from a State, taking ownership of the
+// slices.  The result is indistinguishable from the SAN that produced
+// the State — adjacency order, membership indexes, counters and
+// envelopes all match — so a simulator resumed on it consumes an
+// identical rng stream.
+func FromState(st State) (*SAN, error) {
+	n := len(st.Out)
+	if len(st.In) != n || len(st.Attr) != n {
+		return nil, fmt.Errorf("san: state social dimensions disagree: out=%d in=%d attr=%d",
+			n, len(st.In), len(st.Attr))
+	}
+	na := len(st.Members)
+	if len(st.AttrNames) != na || len(st.AttrTypes) != na {
+		return nil, fmt.Errorf("san: state attribute dimensions disagree: members=%d names=%d types=%d",
+			na, len(st.AttrNames), len(st.AttrTypes))
+	}
+	g := &SAN{
+		out:        st.Out,
+		in:         st.In,
+		attr:       st.Attr,
+		members:    st.Members,
+		attrName:   st.AttrNames,
+		attrType:   st.AttrTypes,
+		outSorted:  make([][]NodeID, n),
+		attrSorted: make([][]AttrID, n),
+		attrIndex:  make(map[string]AttrID, na),
+		attrMaxIn:  make([]int32, na),
+	}
+	for a := 0; a < na; a++ {
+		name := st.AttrNames[a]
+		if _, dup := g.attrIndex[name]; dup {
+			return nil, fmt.Errorf("san: state duplicates attribute name %q", name)
+		}
+		if !ValidAttrType(st.AttrTypes[a]) {
+			return nil, fmt.Errorf("san: state attribute %q has invalid type %d", name, st.AttrTypes[a])
+		}
+		g.attrIndex[name] = AttrID(a)
+	}
+
+	outSum, inSum := 0, 0
+	for u := 0; u < n; u++ {
+		outSum += len(g.out[u])
+		inSum += len(g.in[u])
+		g.outSorted[u] = sortedIDs(g.out[u], NodeID(n))
+		if g.outSorted[u] == nil && len(g.out[u]) > 0 {
+			return nil, fmt.Errorf("san: state out[%d] has a duplicate or out-of-range neighbor", u)
+		}
+		if containsID(g.outSorted[u], NodeID(u)) {
+			return nil, fmt.Errorf("san: state out[%d] contains a self loop", u)
+		}
+		g.attrSorted[u] = sortedIDs(g.attr[u], AttrID(na))
+		if g.attrSorted[u] == nil && len(g.attr[u]) > 0 {
+			return nil, fmt.Errorf("san: state attr[%d] has a duplicate or out-of-range attribute", u)
+		}
+	}
+	if outSum != inSum {
+		return nil, fmt.Errorf("san: state degree sums disagree (out=%d, in=%d)", outSum, inSum)
+	}
+	g.socialEdgeCount = outSum
+
+	// Verify In transposes Out (multiset per node): a corrupted or
+	// hand-edited checkpoint must not produce a silently inconsistent
+	// graph.  O(E log) once per resume.
+	inDeg := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.out[u] {
+			inDeg[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if int(inDeg[v]) != len(g.in[v]) {
+			return nil, fmt.Errorf("san: state in[%d] length %d, out-adjacency implies %d", v, len(g.in[v]), inDeg[v])
+		}
+	}
+
+	attrSum := 0
+	memberDeg := make([]int32, na)
+	for u := 0; u < n; u++ {
+		attrSum += len(g.attr[u])
+		for _, a := range g.attr[u] {
+			memberDeg[a]++
+		}
+	}
+	for a := 0; a < na; a++ {
+		if int(memberDeg[a]) != len(g.members[a]) {
+			return nil, fmt.Errorf("san: state members[%d] length %d, attribute lists imply %d", a, len(g.members[a]), memberDeg[a])
+		}
+		maxIn := int32(0)
+		for _, u := range g.members[a] {
+			if u < 0 || int(u) >= n {
+				return nil, fmt.Errorf("san: state members[%d] lists node %d out of range", a, u)
+			}
+			if d := int32(len(g.in[u])); d > maxIn {
+				maxIn = d
+			}
+		}
+		g.attrMaxIn[a] = maxIn
+	}
+	g.attrEdgeCount = attrSum
+
+	mutual := 0
+	for u := 0; u < n; u++ {
+		for _, v := range g.out[u] {
+			if containsID(g.outSorted[v], NodeID(u)) {
+				mutual++
+			}
+		}
+	}
+	g.mutual = mutual
+	return g, nil
+}
+
+// sortedIDs returns a sorted copy of s, or nil if s contains a
+// duplicate or a value outside [0, max).
+func sortedIDs[T NodeID | AttrID](s []T, max T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	c := append(make([]T, 0, len(s)), s...)
+	slices.Sort(c)
+	if c[0] < 0 || c[len(c)-1] >= max {
+		return nil
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] == c[i-1] {
+			return nil
+		}
+	}
+	return c
+}

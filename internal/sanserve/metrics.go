@@ -70,6 +70,11 @@ func (s *Server) registerMetrics() {
 	reg.Gauge("sanserve_sim_links_total", nil, func() float64 { return float64(s.simProg.Links()) })
 	reg.Gauge("sanserve_sim_deltas_total", nil, func() float64 { return float64(s.simProg.Deltas()) })
 	reg.Gauge("sanserve_sim_packed_bytes_total", nil, func() float64 { return float64(s.simProg.Bytes()) })
+
+	// Resident set size, sampled at scrape time: pairs with the packed-
+	// bytes gauge to show that streaming packs hold memory flat while
+	// output grows.
+	reg.Gauge("sanserve_process_rss_bytes", nil, func() float64 { return float64(obs.CurrentRSS()) })
 }
 
 // registerQuantileGauges exports p50/p95/p99 summary gauges for one

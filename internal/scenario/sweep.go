@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/gplus"
 	"repro/internal/obs"
 	"repro/internal/snapstore"
@@ -208,35 +210,46 @@ func Sweep(opts Options) (*Manifest, error) {
 	return m, nil
 }
 
-// runOne simulates a single scenario and packs its timelines, reusing
+// runOne simulates a single scenario and streams its timelines to the
+// workspace as they are packed (each worker's resident memory is its
+// live SAN plus one day's records, never two whole timelines), reusing
 // the worker's scratch arena across scenarios.
 func runOne(dir string, s Scenario, cfg gplus.Config, scratch *gplus.Scratch, prog *obs.Progress) (Run, error) {
 	start := time.Now()
 	sim := gplus.NewWithScratch(cfg, scratch)
 	sim.Progress = prog
-	full, view, err := sim.RunTimelines(nil)
-	if err != nil {
-		return Run{}, fmt.Errorf("scenario %q: packing: %w", s.Name, err)
-	}
 	run := Run{
 		Scenario:     s.Name,
 		Title:        s.Title,
 		Seed:         cfg.Seed,
 		ConfigDigest: Digest(cfg),
-		Days:         full.NumDays(),
-		SocialNodes:  sim.G.NumSocial(),
-		SocialLinks:  sim.G.NumSocialEdges(),
-		AttrNodes:    sim.G.NumAttrs(),
-		AttrLinks:    sim.G.NumAttrEdges(),
 		FullFile:     s.Name + ".full.tl",
 		ViewFile:     s.Name + ".view.tl",
-		FullBytes:    full.Size(),
-		ViewBytes:    view.Size(),
 	}
-	if err := full.WriteFile(filepath.Join(dir, run.FullFile)); err != nil {
+	full, err := snapstore.NewStreamWriter(filepath.Join(dir, run.FullFile))
+	if err != nil {
 		return Run{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	if err := view.WriteFile(filepath.Join(dir, run.ViewFile)); err != nil {
+	defer full.Abort()
+	view, err := snapstore.NewStreamWriter(filepath.Join(dir, run.ViewFile))
+	if err != nil {
+		return Run{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	defer view.Abort()
+	if err := sim.StreamTimelines(1, 0, full, view, nil); err != nil {
+		return Run{}, fmt.Errorf("scenario %q: packing: %w", s.Name, err)
+	}
+	run.Days = full.NumDays()
+	run.SocialNodes = sim.G.NumSocial()
+	run.SocialLinks = sim.G.NumSocialEdges()
+	run.AttrNodes = sim.G.NumAttrs()
+	run.AttrLinks = sim.G.NumAttrEdges()
+	run.FullBytes = full.PackedBytes()
+	run.ViewBytes = view.PackedBytes()
+	if err := full.Finalize(); err != nil {
+		return Run{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := view.Finalize(); err != nil {
 		return Run{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	run.Digest = run.ContentDigest()
@@ -249,7 +262,13 @@ func writeManifest(dir string, m *Manifest) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, ManifestFile), append(data, '\n'), 0o644)
+	// Atomic temp+rename: a sweep re-run over a live workspace must
+	// never leave a half-written manifest for a concurrent reader
+	// (sanserve hot reload) to trip over.
+	return atomicio.WriteFile(filepath.Join(dir, ManifestFile), func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
+		return err
+	})
 }
 
 // ParseManifest decodes and validates manifest bytes without touching

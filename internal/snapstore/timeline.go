@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/san"
 )
 
@@ -142,29 +143,26 @@ func LoadFile(path string) (*Timeline, error) {
 	return ReadTimeline(f)
 }
 
-// WriteFile writes the packed timeline to disk.
+// WriteFile writes the packed timeline to disk atomically: the bytes
+// land in a temp file first and replace path in one rename, so a crash
+// or a concurrent reload-watcher poll never observes a torn timeline.
 func (t *Timeline) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := t.WriteTo(w)
 		return err
-	}
-	if _, err := t.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
-// Builder accumulates a timeline one day at a time.  Append the day-0
-// SAN first, then each subsequent day's SAN; the builder tracks only
-// per-node link counts between calls, so appending day d costs O(new
-// structure + |Vs|), not O(|Es|).
+// Builder accumulates a timeline one day at a time, keeping every
+// packed record in memory.  Append the day-0 SAN first, then each
+// subsequent day's SAN; the builder tracks only per-node link counts
+// between calls, so appending day d costs O(new structure + |Vs|), not
+// O(|Es|).  For runs too large to hold every record, StreamWriter is
+// the disk-backed equivalent.
 type Builder struct {
-	days      [][]byte
-	numSocial int
-	numAttrs  int
-	outDeg    []int32
-	attrDeg   []int32
+	enc    dayEncoder
+	days   [][]byte
+	packed int
 }
 
 // NewBuilder returns an empty timeline builder.
@@ -176,22 +174,12 @@ func NewBuilder() *Builder { return &Builder{} }
 // each adjacency list must extend the previous day's (which holds for
 // any evolution recorded through san.SAN's append-only mutators).
 func (b *Builder) Append(g *san.SAN) error {
-	if len(b.days) == 0 {
-		b.days = append(b.days, EncodeSnapshot(g))
-	} else {
-		rec, err := encodeDelta(g, b.numSocial, b.numAttrs, b.outDeg, b.attrDeg)
-		if err != nil {
-			return fmt.Errorf("snapstore: day %d: %w", len(b.days), err)
-		}
-		b.days = append(b.days, rec)
+	rec, err := b.enc.encode(g)
+	if err != nil {
+		return err
 	}
-	b.numSocial, b.numAttrs = g.NumSocial(), g.NumAttrs()
-	b.outDeg = resizeTo(b.outDeg, b.numSocial)
-	b.attrDeg = resizeTo(b.attrDeg, b.numSocial)
-	for u := 0; u < b.numSocial; u++ {
-		b.outDeg[u] = int32(g.OutDegree(san.NodeID(u)))
-		b.attrDeg[u] = int32(g.AttrDegree(san.NodeID(u)))
-	}
+	b.days = append(b.days, rec)
+	b.packed += len(rec)
 	return nil
 }
 
@@ -213,11 +201,7 @@ func (b *Builder) Timeline() *Timeline {
 
 // PackedBytes reports the total encoded size of the days appended so
 // far; long-running packers read it between Appends to report
-// incremental output volume.
-func (b *Builder) PackedBytes() int {
-	n := 0
-	for _, d := range b.days {
-		n += len(d)
-	}
-	return n
-}
+// incremental output volume.  It is a running total maintained by
+// Append — O(1) per call, so per-day progress polling stays linear over
+// a run instead of quadratic.
+func (b *Builder) PackedBytes() int { return b.packed }
