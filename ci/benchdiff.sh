@@ -27,7 +27,7 @@ BENCHTIME=${BENCHDIFF_BENCHTIME:-1s}
 BASELINE=BENCH_baseline.json
 
 SNAPSTORE_BENCHES='^(BenchmarkTimelineLoad|BenchmarkTimelineMap)$'
-SANSERVE_BENCHES='^(BenchmarkCachedFigureRequest|BenchmarkCachedCompareRequest|BenchmarkSnapshotStats)$'
+SANSERVE_BENCHES='^(BenchmarkCachedFigureRequest|BenchmarkCachedCompareRequest|BenchmarkSnapshotStats|BenchmarkStreamRows)$'
 # The incremental dataset build (the first-touch cost of a sanserve
 # mount) and the simulator core (BenchmarkSimulate: quick-scale
 # RunTimelines with its allocation ceiling; BenchmarkStreamPack: the

@@ -144,14 +144,15 @@ func runGenerate(args []string, w io.Writer) error {
 		resume    = fs.String("resume", "", "continue an interrupted -stream-out run from its checkpoint directory")
 		stopAfter = fs.Int("stop-after", 0, "with -stream-out: stop after day N, leaving a checkpoint to resume from")
 		progress  = fs.Bool("progress", false, "emit periodic progress (days, links, packed bytes, RSS) to stderr")
+		serveAddr = fs.String("serve", "", "with -stream-out: serve a live NDJSON tail of this run on ADDR (GET /v1/stream/live) while it generates")
 	)
 	fs.Parse(args)
 
 	if *resume != "" {
-		return runResume(*resume, *stopAfter, *progress)
+		return runResume(*resume, *stopAfter, *progress, *serveAddr)
 	}
-	if *streamOut == "" && (*ckptEvery > 0 || *stopAfter > 0) {
-		return fmt.Errorf("-checkpoint-every and -stop-after require -stream-out")
+	if *streamOut == "" && (*ckptEvery > 0 || *stopAfter > 0 || *serveAddr != "") {
+		return fmt.Errorf("-checkpoint-every, -stop-after and -serve require -stream-out")
 	}
 
 	var g *san.SAN
@@ -180,7 +181,7 @@ func runGenerate(args []string, w io.Writer) error {
 			return err
 		}
 		if *streamOut != "" {
-			return runStream(cfg, *streamOut, *observed, *ckptEvery, *stopAfter, *progress)
+			return runStream(cfg, *streamOut, *observed, *ckptEvery, *stopAfter, *progress, *serveAddr)
 		}
 		sim := gplus.New(cfg)
 		sim.Run(nil)

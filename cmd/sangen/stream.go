@@ -3,18 +3,23 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/experiments"
 	"repro/internal/gplus"
 	"repro/internal/obs"
 	"repro/internal/san"
+	"repro/internal/sanserve"
 	"repro/internal/snapstore"
 )
 
@@ -51,35 +56,38 @@ type ckptMeta struct {
 // streamRun drives one streaming simulation segment (fresh or resumed)
 // to its stop day, checkpointing along the way.
 type streamRun struct {
-	sim      *gplus.Simulator
-	w        *snapstore.StreamWriter
-	out      string // final timeline path
-	ckptDir  string
-	observed bool
-	every    int // checkpoint cadence in days; 0 = never
+	sim       *gplus.Simulator
+	w         *snapstore.StreamWriter
+	out       string // final timeline path
+	ckptDir   string
+	observed  bool
+	every     int    // checkpoint cadence in days; 0 = never
+	serveAddr string // with -serve: live /v1/stream tail address
 }
 
 // runStream starts a fresh streaming generation.
-func runStream(cfg gplus.Config, out string, observed bool, every, stopAfter int, progress bool) error {
+func runStream(cfg gplus.Config, out string, observed bool, every, stopAfter int, progress bool, serveAddr string) error {
 	w, err := snapstore.NewStreamWriter(out)
 	if err != nil {
 		return err
 	}
 	r := &streamRun{
-		sim:      gplus.New(cfg),
-		w:        w,
-		out:      out,
-		ckptDir:  out + ".ckpt",
-		observed: observed,
-		every:    every,
+		sim:       gplus.New(cfg),
+		w:         w,
+		out:       out,
+		ckptDir:   out + ".ckpt",
+		observed:  observed,
+		every:     every,
+		serveAddr: serveAddr,
 	}
 	return r.run(1, stopAfter, progress)
 }
 
 // runResume continues a streaming generation from a checkpoint
 // directory.  Configuration, output path and cadence all come from the
-// checkpoint; only -stop-after and -progress apply to the new segment.
-func runResume(dir string, stopAfter int, progress bool) error {
+// checkpoint; only -stop-after, -progress and -serve apply to the new
+// segment.
+func runResume(dir string, stopAfter int, progress bool, serveAddr string) error {
 	meta, state, err := openCheckpoint(dir)
 	if err != nil {
 		return err
@@ -103,12 +111,13 @@ func runResume(dir string, stopAfter int, progress bool) error {
 		return fmt.Errorf("resume: %w", err)
 	}
 	r := &streamRun{
-		sim:      sim,
-		w:        w,
-		out:      meta.StreamOut,
-		ckptDir:  dir,
-		observed: meta.Observed,
-		every:    meta.Every,
+		sim:       sim,
+		w:         w,
+		out:       meta.StreamOut,
+		ckptDir:   dir,
+		observed:  meta.Observed,
+		every:     meta.Every,
+		serveAddr: serveAddr,
 	}
 	return r.run(meta.Day+1, stopAfter, progress)
 }
@@ -139,7 +148,26 @@ func (r *streamRun) run(startDay, stopAfter int, progress bool) error {
 	if stopAfter > 0 && stopAfter < cfg.Days {
 		stopDay = stopAfter
 	}
-	err := r.sim.StreamTimelines(startDay, stopDay, r.fullSink(), r.viewSink(), func(day int, _, _ *san.SAN) error {
+	fullSink, viewSink := r.fullSink(), r.viewSink()
+	if r.serveAddr != "" {
+		// -serve: tee the packed stream into an in-memory live timeline
+		// and mount it on an HTTP server, so /v1/stream tails the
+		// simulation while it runs.  Finish releases tailing clients at
+		// the end of this segment; stopServe then drains and shuts down.
+		live := snapstore.NewLive()
+		stopServe, err := serveLive(r.serveAddr, live)
+		if err != nil {
+			return err
+		}
+		defer stopServe()
+		defer live.Finish()
+		if r.observed {
+			viewSink = snapstore.Tee(viewSink, live)
+		} else {
+			fullSink = snapstore.Tee(fullSink, live)
+		}
+	}
+	err := r.sim.StreamTimelines(startDay, stopDay, fullSink, viewSink, func(day int, _, _ *san.SAN) error {
 		if r.every <= 0 || day >= cfg.Days || (day%r.every != 0 && day != stopDay) {
 			return nil
 		}
@@ -266,4 +294,42 @@ func openCheckpoint(dir string) (ckptMeta, io.ReadCloser, error) {
 type readCloser struct {
 	io.Reader
 	io.Closer
+}
+
+// liveMountName is the mount a -serve run exposes; the tail URL is
+// /v1/stream/live.
+const liveMountName = "live"
+
+// serveLive starts a sanserve instance with one live mount and returns
+// a stop function that drains active streams and shuts the listener
+// down.  The bound address is reported on stderr (useful with :0).
+func serveLive(addr string, live *snapstore.Live) (stop func(), err error) {
+	srv := sanserve.New(sanserve.Options{Cfg: experiments.QuickConfig()})
+	if err := srv.MountLive(liveMountName, live); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-serve: %w", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go httpSrv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "sangen: live tail at http://%s/v1/stream/%s\n", ln.Addr(), liveMountName)
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// The live timeline is finished by the time we get here, so a
+		// tailing client that lags the simulation frontier still has
+		// buffered days to read; give active streams a grace window to
+		// drain on their own done records before DrainStreams cancels
+		// stragglers, then close the listener.
+		for srv.ActiveStreams() > 0 && ctx.Err() == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := srv.DrainStreams(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "sangen: draining live streams:", err)
+		}
+		httpSrv.Shutdown(ctx)
+		srv.Close()
+	}, nil
 }

@@ -73,6 +73,7 @@ func main() {
 		auditPath   = flag.String("audit", "", "append per-request NDJSON audit rows to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. :6060)")
 		loadgen     = flag.Bool("loadgen", false, "run the in-process load generator instead of serving")
+		stream      = flag.Bool("stream", false, "loadgen: drive /v1/stream walks instead of figure requests (reports rows/s)")
 		fig         = flag.String("fig", "2", "loadgen: figure ID to request")
 		conc        = flag.Int("c", 32, "loadgen: concurrent workers")
 		dur         = flag.Duration("dur", 3*time.Second, "loadgen: run duration")
@@ -153,6 +154,28 @@ func main() {
 		if auditFile != nil {
 			auditFile.Close()
 		}
+	}
+
+	if *loadgen && *stream {
+		path := ""
+		switch {
+		case *paths != "":
+			path = strings.TrimSpace(strings.Split(*paths, ",")[0])
+		case len(mounts) > 0:
+			path = "/v1/stream/" + mounts[0].name
+		}
+		if path == "" {
+			logger.Error("loadgen -stream needs an explicit -mount or -paths")
+			os.Exit(1)
+		}
+		logger.Info("stream loadgen starting", "path", path, "workers", *conc, "duration", *dur)
+		report := sanserve.LoadGenStream(srv.Handler(), path, *conc, *dur)
+		fmt.Println(report)
+		closeAll()
+		if report.Errors > 0 || report.Streams == 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *loadgen {
@@ -244,6 +267,12 @@ func main() {
 	logger.Info("shutting down, draining in-flight requests")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	// Streams first: each in-flight /v1/stream response gets a terminal
+	// NDJSON error record and unwinds, so Shutdown below is not stuck
+	// waiting out long-running walks (and no client sees a cut socket).
+	if err := srv.DrainStreams(shutCtx); err != nil {
+		logger.Warn("stream drain", "err", err)
+	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("shutdown", "err", err)
 	}

@@ -13,6 +13,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -127,8 +129,9 @@ type DayMetrics struct {
 type Dataset struct {
 	Cfg Config
 
-	once     sync.Once
-	build    func(*Dataset)
+	mu       sync.Mutex
+	built    bool
+	build    func(*Dataset, context.Context) error
 	buildErr any // panic value of a failed build, re-raised on every access
 
 	days      []DayMetrics
@@ -139,25 +142,78 @@ type Dataset struct {
 	finalFull *san.SAN            // full SAN at the last day
 	sim       *gplus.Simulator    // simulation-backed datasets only
 	tr        *trace.Trace        // simulation-backed datasets only
+
+	// Resume state of an interrupted build.  Simulation-backed builds
+	// resume through the simulator itself (Day() is the checkpoint);
+	// canceled measurement folds keep the per-day records measured so
+	// far plus a compact accumulator snapshot (fold), and the retained
+	// builders (simFull/simView) let a resumed simulation keep packing
+	// where it stopped.
+	simFull *snapstore.Builder
+	simView *snapstore.Builder
+	fold    *foldState
 }
 
-// force runs the build exactly once.  A panicking build (corrupt
-// timeline day, packing bug) still completes the sync.Once, so the
-// panic value is recorded and re-raised for every later accessor —
-// otherwise subsequent callers would silently read nil fields.
-func (d *Dataset) force() {
-	d.once.Do(func() {
-		defer func() {
-			if v := recover(); v != nil {
-				d.buildErr = v
-				panic(v)
-			}
-		}()
-		d.build(d)
-	})
+// foldState is the suspended measurement walk of a canceled Build: the
+// days measured so far, the next day index to measure, and a
+// metrics.Resumable snapshot of the fold accumulators.  A resumed
+// build restores the snapshot and Seeks the cursor to next — replaying
+// deltas to rebuild the evolving graphs, but re-measuring nothing.
+type foldState struct {
+	days []DayMetrics
+	next int
+	acc  any
+}
+
+// Build runs the backing work, honoring ctx: a canceled context makes
+// the build stop at the next day boundary and return the context's
+// error, leaving the dataset resumable — a later Build (any context)
+// picks up where the canceled one stopped without re-simulating or
+// re-measuring a single day.  Build returns nil once the dataset is
+// complete; accessors then read their fields without further work.
+//
+// Builds are serialized: concurrent callers block until the running
+// build returns (finished or canceled), then the next caller resumes
+// it under its own context.  Panics (corrupt timeline day, packing
+// bug) are sticky and re-raised for every later call — otherwise
+// subsequent callers would silently read nil fields.
+func (d *Dataset) Build(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.buildErr != nil {
 		panic(d.buildErr)
 	}
+	if d.built {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			d.buildErr = v
+			panic(v)
+		}
+	}()
+	if err := d.build(d, ctx); err != nil {
+		return err
+	}
+	d.built = true
+	return nil
+}
+
+// force completes the build for an accessor.  context.Background never
+// cancels, so an error here is a real build failure.
+func (d *Dataset) force() {
+	if err := d.Build(context.Background()); err != nil {
+		panic(fmt.Sprintf("experiments: building dataset: %v", err))
+	}
+}
+
+// isCtxErr reports whether err is a context cancellation rather than a
+// build failure.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Days returns the per-day metric records (index i is day i+1).
@@ -208,6 +264,15 @@ func GetDataset(cfg Config) *Dataset {
 	return d
 }
 
+// NeedsDataset reports whether figure id forces a dataset build.
+// Model-comparison figures (16-18) and the triadic-closure census
+// generate their own SANs from the configured generators and never
+// touch the measured dataset — a server can answer them while the
+// dataset is still building (or was never built at all).
+func NeedsDataset(id string) bool { return !modelOnly[id] }
+
+var modelOnly = map[string]bool{"16": true, "17": true, "18": true, "tc": true}
+
 // NewTimelineDataset returns a Dataset backed by already-packed
 // timelines instead of a simulation: full is the daily full-SAN
 // timeline and view the daily crawl-view timeline (view may be nil to
@@ -225,46 +290,63 @@ func NewTimelineDataset(cfg Config, full, view *snapstore.Timeline) *Dataset {
 	if view == nil {
 		view = full
 	}
-	return &Dataset{Cfg: cfg, build: func(d *Dataset) { buildTimelineDataset(d, full, view) }}
+	return &Dataset{Cfg: cfg, build: func(d *Dataset, ctx context.Context) error {
+		return buildTimelineDataset(d, ctx, full, view)
+	}}
 }
 
-func buildSimDataset(ds *Dataset) {
+func buildSimDataset(ds *Dataset, ctx context.Context) error {
 	cfg := ds.Cfg
-	gcfg := gplus.DefaultConfig()
-	gcfg.DailyBase = cfg.Scale
-	gcfg.Seed = cfg.Seed
-	gcfg.Record = &trace.Trace{}
-	gcfg.RecordObserved = true
-	sim := gplus.New(gcfg)
-	if cfg.Progress != nil {
-		sim.Progress = cfg.Progress
-		cfg.Progress.AddTotalDays(gcfg.Days)
+	if ds.sim == nil {
+		gcfg := gplus.DefaultConfig()
+		gcfg.DailyBase = cfg.Scale
+		gcfg.Seed = cfg.Seed
+		gcfg.Record = &trace.Trace{}
+		gcfg.RecordObserved = true
+		sim := gplus.New(gcfg)
+		if cfg.Progress != nil {
+			sim.Progress = cfg.Progress
+			cfg.Progress.AddTotalDays(gcfg.Days)
+		}
+		ds.sim, ds.tr = sim, gcfg.Record
+		ds.simFull, ds.simView = snapstore.NewBuilder(), snapstore.NewBuilder()
 	}
-	ds.sim, ds.tr = sim, gcfg.Record
 
 	// Pass 1: simulate once, emitting the packed snapshot timelines
 	// (this reproduction's equivalent of the 79 daily crawl files).
-	full, view, err := sim.RunTimelines(func(day int, _, view *san.SAN) {
-		if day == 49 {
-			ds.halfView = view
+	// A canceled run stops at a day boundary with the simulator in
+	// checkpoint-clean state; the retained builders hold exactly the
+	// days simulated so far, so the resume continues from Day()+1.
+	if ds.full == nil {
+		sim := ds.sim
+		err := sim.StreamTimelines(sim.Day()+1, 0, ds.simFull, ds.simView, func(day int, _, view *san.SAN) error {
+			if day == 49 {
+				ds.halfView = view
+			}
+			if day == sim.Cfg.Days {
+				ds.finalView = view
+			}
+			return ctx.Err()
+		})
+		if err != nil {
+			if isCtxErr(err) {
+				return err
+			}
+			// The simulator's evolution is append-only by construction, so
+			// a packing failure is a programming error, not an input error.
+			panic(fmt.Sprintf("experiments: packing timelines: %v", err))
 		}
-		if day == sim.Cfg.Days {
-			ds.finalView = view
-		}
-	})
-	if err != nil {
-		// The simulator's evolution is append-only by construction, so a
-		// packing failure is a programming error, not an input error.
-		panic(fmt.Sprintf("experiments: packing timelines: %v", err))
+		ds.full, ds.view = ds.simFull.Timeline(), ds.simView.Timeline()
+		ds.finalFull = sim.G
 	}
-	ds.full, ds.view = full, view
-	ds.finalFull = sim.G
-	measureTimelines(ds)
+	return measureTimelines(ds, ctx)
 }
 
-func buildTimelineDataset(ds *Dataset, full, view *snapstore.Timeline) {
+func buildTimelineDataset(ds *Dataset, ctx context.Context, full, view *snapstore.Timeline) error {
 	ds.full, ds.view = full, view
-	measureTimelines(ds)
+	if err := measureTimelines(ds, ctx); err != nil {
+		return err
+	}
 	// The fold walk captures the halfway and final snapshots in
 	// passing; the recompute path (and the degenerate empty timeline)
 	// reconstructs whatever is still missing.
@@ -285,6 +367,7 @@ func buildTimelineDataset(ds *Dataset, full, view *snapstore.Timeline) {
 			panic(fmt.Sprintf("experiments: reconstructing final full SAN: %v", err))
 		}
 	}
+	return nil
 }
 
 // halfDay returns the 0-based index of the halfway crawl: 1-based day
@@ -300,16 +383,18 @@ func halfDay(numDays int) int {
 // measureTimelines fills ds.days.  Sampled estimators get a per-day
 // rng so the measurement of a day does not depend on evaluation order
 // — simulation-backed and timeline-backed datasets, fold and
-// recompute, therefore all measure identically.
-func measureTimelines(ds *Dataset) {
+// recompute, therefore all measure identically.  The fold path honors
+// ctx (see measureTimelinesFold); the recompute path is the
+// uncancelable reference implementation.
+func measureTimelines(ds *Dataset, ctx context.Context) error {
 	if ds.Cfg.Recompute {
 		ds.days, _, _ = recomputeDayMetrics(ds.Cfg, ds.full, ds.view)
-		return
+		return nil
 	}
-	measureTimelinesFold(ds)
+	return measureTimelinesFold(ds, ctx)
 }
 
-// measureTimelinesFold is the incremental path: one FoldN walk over
+// measureTimelinesFold is the incremental path: one cursor walk over
 // the timeline pair maintains an evolving SAN per role plus exact
 // accumulators (degree histograms, via each day's Delta) in O(new
 // structure) per day.  Whole-graph counters (reciprocity, densities,
@@ -317,52 +402,69 @@ func measureTimelines(ds *Dataset) {
 // the attribute power-law exponent come from the folded histograms,
 // and only the paper's sampled estimators (clustering, assortativity,
 // diameters) still run against the day's graph — with the clustering
-// estimator served by a delta-invalidated neighbor cache.
-func measureTimelinesFold(ds *Dataset) {
+// estimator served by a delta-invalidated neighbor cache (DayFolder
+// packages the per-day step; sanserve's streaming handler shares it).
+//
+// Cancellation is checked between days.  On ctx error the walk parks
+// its progress in ds.fold — measured days plus compact accumulator
+// snapshots, not the evolving graphs — and the next call re-opens a
+// cursor, Seeks past the measured prefix (replaying deltas without
+// visitor work) and restores the accumulators, so no day is ever
+// measured twice and the resumed walk is bitwise-identical to an
+// uninterrupted one.
+func measureTimelinesFold(ds *Dataset, ctx context.Context) error {
 	numDays := ds.full.NumDays()
 	if numDays == 0 {
 		ds.days = nil
-		return
+		return nil
 	}
-	ds.days = make([]DayMetrics, numDays)
 	half, last := halfDay(numDays), numDays-1
-	if ds.Cfg.Progress != nil {
-		ds.Cfg.Progress.AddTotalDays(numDays)
-	}
-
-	soc := metrics.NewSocialDegreeAccum()
-	att := metrics.NewAttrDegreeAccum()
-	nc := metrics.NewNeighborCache()
 	sameView := ds.view == ds.full
 	tls := []*snapstore.Timeline{ds.full}
 	if !sameView {
 		tls = append(tls, ds.view)
 	}
-	err := snapstore.FoldN(tls, func(day int, gs []*san.SAN, deltas []*snapstore.Delta) error {
+
+	folder := NewDayFolder(ds.Cfg)
+	days := make([]DayMetrics, numDays)
+	next := 0
+	if st := ds.fold; st != nil {
+		days, next = st.days, st.next
+		folder.Restore(st.acc)
+	} else if ds.Cfg.Progress != nil {
+		ds.Cfg.Progress.AddTotalDays(numDays)
+	}
+
+	cur, err := snapstore.OpenCursorN(tls)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: folding timelines: %v", err))
+	}
+	defer cur.Close()
+	if next > 0 {
+		if err := cur.Seek(next); err != nil {
+			panic(fmt.Sprintf("experiments: resuming fold at day %d: %v", next, err))
+		}
+	}
+	for {
+		day, gs, deltas, err := cur.Next(ctx)
+		if err == snapstore.ErrDone {
+			break
+		}
+		if err != nil {
+			if isCtxErr(err) {
+				ds.fold = &foldState{days: days, next: next, acc: folder.Snapshot()}
+				return err
+			}
+			panic(fmt.Sprintf("experiments: folding timelines: %v", err))
+		}
 		full, fd := gs[0], deltas[0]
 		view, vd := full, fd
 		if !sameView {
 			view, vd = gs[1], deltas[1]
 		}
-		soc.AddNodes(fd.NewSocial)
-		nc.AddNodes(fd.NewSocial)
-		for _, e := range fd.SocialEdges {
-			soc.AddEdge(e.U, e.V)
-			nc.Invalidate(e.U)
-			nc.Invalidate(e.V)
-		}
-		att.AddUsers(vd.NewSocial)
-		att.AddAttrs(vd.NewAttrs)
-		for _, l := range vd.AttrLinks {
-			att.AddLink(l.U, l.A)
-		}
-
-		m := measureDaySampled(ds.Cfg, day+1, full, view, nc)
-		m.MuOut, m.SigmaOut = stats.LogMomentsHist(soc.Out.Counts())
-		m.MuIn, m.SigmaIn = stats.LogMomentsHist(soc.In.Counts())
-		m.MuAttrDeg, m.SigmaAttrDeg = stats.LogMomentsHist(att.User.Counts())
-		m.AlphaAttrSocial = stats.FitPowerLawHist(att.Attr.Counts(), 1).Alpha
-		ds.days[day] = m
+		folder.Feed(fd, vd)
+		days[day] = folder.Measure(day+1, full, view)
+		next = day + 1
 		if p := ds.Cfg.Progress; p != nil {
 			p.AddDays(1)
 			p.AddNodes(fd.NewSocial)
@@ -372,8 +474,8 @@ func measureTimelinesFold(ds *Dataset) {
 
 		// Capture the figure snapshots in passing (simulation-backed
 		// datasets have already recorded their own).  The final-day
-		// graphs are retained un-cloned: Fold releases them after the
-		// last visit.
+		// graphs are retained un-cloned: Close never mutates the graphs
+		// it releases.
 		if day == half && ds.halfView == nil {
 			ds.halfView = view.Clone()
 		}
@@ -385,11 +487,9 @@ func measureTimelinesFold(ds *Dataset) {
 				ds.finalFull = full
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		panic(fmt.Sprintf("experiments: folding timelines: %v", err))
 	}
+	ds.days, ds.fold = days, nil
+	return nil
 }
 
 // recomputeDayMetrics is the pre-fold batch path, retained as the

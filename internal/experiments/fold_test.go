@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // sameDayMetrics compares two per-day records field by field, treating
@@ -61,6 +65,99 @@ func TestFoldMatchesRecompute(t *testing.T) {
 			t.Fatalf("day %d: fold diverges from recompute: %v", i+1, err)
 		}
 	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err checks —
+// a deterministic stand-in for a client disconnecting mid-build.  The
+// cursor (and the sim perDay hook) polls Err once per day, so the
+// countdown positions the cancellation at an exact day boundary.
+type countdownCtx struct {
+	context.Context
+	checks int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.checks <= 0 {
+		return context.Canceled
+	}
+	c.checks--
+	return nil
+}
+
+// TestDatasetBuildResume is the resumability gate for both build
+// backends: cancel a build mid-walk (several times, at different
+// days), resume it to completion, and require the result to be
+// bitwise-identical to an uninterrupted twin.  The Progress day count
+// additionally proves no day was ever measured twice.
+func TestDatasetBuildResume(t *testing.T) {
+	cfg := goldenConfig()
+	control := GetDataset(cfg)
+	wantDays := control.Days()
+
+	t.Run("timeline", func(t *testing.T) {
+		prog := &obs.Progress{}
+		rcfg := cfg
+		rcfg.Progress = prog
+		ds := NewTimelineDataset(rcfg, control.FullTimeline(), control.ViewTimeline())
+		cancels := 0
+		for _, checks := range []int{3, 11, 1} {
+			err := ds.Build(&countdownCtx{Context: context.Background(), checks: checks})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Build with countdown %d: %v, want context.Canceled", checks, err)
+			}
+			cancels++
+		}
+		if err := ds.Build(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		got := ds.Days()
+		if len(got) != len(wantDays) {
+			t.Fatalf("resumed build measured %d days, want %d", len(got), len(wantDays))
+		}
+		for i := range got {
+			if err := sameDayMetrics(got[i], wantDays[i]); err != nil {
+				t.Fatalf("day %d: resumed build diverges: %v", i+1, err)
+			}
+		}
+		if n := prog.Days(); n != int64(len(wantDays)) {
+			t.Errorf("progress counted %d folded days over %d cancels, want %d (no day re-measured)",
+				n, cancels, len(wantDays))
+		}
+		if ds.HalfView().Stats() != control.HalfView().Stats() {
+			t.Errorf("halfway views diverge: %+v vs %+v", ds.HalfView().Stats(), control.HalfView().Stats())
+		}
+		if ds.FinalFull().Stats() != control.FinalFull().Stats() {
+			t.Errorf("final full SANs diverge: %+v vs %+v", ds.FinalFull().Stats(), control.FinalFull().Stats())
+		}
+	})
+
+	t.Run("sim", func(t *testing.T) {
+		// A private handle (not GetDataset) so the shared cache never
+		// holds a half-built dataset.
+		ds := &Dataset{Cfg: cfg, build: buildSimDataset}
+		// First cancel lands mid-simulation, later ones mid-fold.
+		for _, checks := range []int{5, 40, 80} {
+			err := ds.Build(&countdownCtx{Context: context.Background(), checks: checks})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Build with countdown %d: %v, want context.Canceled", checks, err)
+			}
+		}
+		if err := ds.Build(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		got := ds.Days()
+		if len(got) != len(wantDays) {
+			t.Fatalf("resumed sim build measured %d days, want %d", len(got), len(wantDays))
+		}
+		for i := range got {
+			if err := sameDayMetrics(got[i], wantDays[i]); err != nil {
+				t.Fatalf("day %d: resumed sim build diverges: %v", i+1, err)
+			}
+		}
+		if ds.FinalFull().Stats() != control.FinalFull().Stats() {
+			t.Errorf("final full SANs diverge: %+v vs %+v", ds.FinalFull().Stats(), control.FinalFull().Stats())
+		}
+	})
 }
 
 // TestRecomputeDatasetMatchesFold drives the recompute path through

@@ -370,7 +370,7 @@ func NewWithScratch(cfg Config, sc *Scratch) *Simulator {
 // Run simulates all configured days; perDay (optional) observes the
 // network at the end of each day, mirroring the daily crawl snapshots.
 func (s *Simulator) Run(perDay func(day int, g *san.SAN)) *san.SAN {
-	return s.runRange(1, s.Cfg.Days, perDay)
+	return s.runRange(1, s.Cfg.Days, observe(perDay))
 }
 
 // RunFrom continues the simulation from startDay through the configured
@@ -379,11 +379,28 @@ func (s *Simulator) Run(perDay func(day int, g *san.SAN)) *san.SAN {
 // replays days startDay..Days exactly as the uninterrupted run would
 // have (same rng stream, same event order, bitwise-identical network).
 func (s *Simulator) RunFrom(startDay int, perDay func(day int, g *san.SAN)) *san.SAN {
-	return s.runRange(startDay, s.Cfg.Days, perDay)
+	return s.runRange(startDay, s.Cfg.Days, observe(perDay))
 }
 
-// runRange simulates days startDay..stopDay inclusive.
-func (s *Simulator) runRange(startDay, stopDay int, perDay func(day int, g *san.SAN)) *san.SAN {
+// observe adapts a pure observer callback to runRange's continue-bool
+// form.
+func observe(perDay func(day int, g *san.SAN)) func(day int, g *san.SAN) bool {
+	if perDay == nil {
+		return nil
+	}
+	return func(day int, g *san.SAN) bool {
+		perDay(day, g)
+		return true
+	}
+}
+
+// runRange simulates days startDay..stopDay inclusive.  A perDay
+// returning false stops the run at that day boundary: s.day stays at
+// the completed day and the simulator state is exactly a checkpoint's,
+// so a later runRange(s.day+1, ...) continues bitwise — this is how a
+// canceled streaming pack abandons the simulation promptly without
+// corrupting it.
+func (s *Simulator) runRange(startDay, stopDay int, perDay func(day int, g *san.SAN) bool) *san.SAN {
 	prevNodes, prevLinks := s.G.NumSocial(), s.G.NumSocialEdges()
 	for day := startDay; day <= stopDay; day++ {
 		s.day = day
@@ -401,8 +418,8 @@ func (s *Simulator) runRange(startDay, stopDay int, perDay func(day int, g *san.
 			s.Progress.AddLinks(links - prevLinks)
 			prevNodes, prevLinks = nodes, links
 		}
-		if perDay != nil {
-			perDay(day, s.G)
+		if perDay != nil && !perDay(day, s.G) {
+			break
 		}
 	}
 	return s.G

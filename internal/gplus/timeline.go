@@ -19,8 +19,12 @@ import (
 //
 // perDay (optional) observes each day after its records are packed; v
 // is nil when no view sink is set.  A non-nil perDay error — or any
-// sink error — stops packing and is returned; checkpoint hooks use the
-// error path to abort a run whose state can no longer be persisted.
+// sink error — stops the run at that day boundary and is returned:
+// the simulator is left in checkpoint-clean state (Day() reports the
+// last completed day) so the caller can persist, resume from Day()+1,
+// or abandon it.  Checkpoint hooks use the error path to abort a run
+// whose state can no longer be persisted; cancelable dataset builds
+// use it to stop simulating promptly on context cancellation.
 //
 // The simulation's evolution is append-only (nodes and links are only
 // ever added), which is what lets every day after the first pack as a
@@ -44,10 +48,7 @@ func (s *Simulator) StreamTimelines(startDay, stopDay int, full, view snapstore.
 	if s.Progress != nil {
 		packedBytes = sinkBytes(full, view)
 	}
-	s.runRange(startDay, stopDay, func(day int, g *san.SAN) {
-		if runErr != nil {
-			return
-		}
+	s.runRange(startDay, stopDay, func(day int, g *san.SAN) bool {
 		var v *san.SAN
 		if view != nil {
 			v = s.CrawlView()
@@ -55,13 +56,13 @@ func (s *Simulator) StreamTimelines(startDay, stopDay int, full, view snapstore.
 		if full != nil {
 			if err := full.Append(g); err != nil {
 				runErr = fmt.Errorf("gplus: packing day %d: %w", day, err)
-				return
+				return false
 			}
 		}
 		if view != nil {
 			if err := view.Append(v); err != nil {
 				runErr = fmt.Errorf("gplus: packing day %d view: %w", day, err)
-				return
+				return false
 			}
 		}
 		if s.Progress != nil && sinks > 0 {
@@ -73,8 +74,10 @@ func (s *Simulator) StreamTimelines(startDay, stopDay int, full, view snapstore.
 		if perDay != nil {
 			if err := perDay(day, g, v); err != nil {
 				runErr = err
+				return false
 			}
 		}
+		return true
 	})
 	return runErr
 }

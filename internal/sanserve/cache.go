@@ -2,6 +2,7 @@ package sanserve
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
@@ -71,12 +72,24 @@ func newResultCache(max int) *resultCache {
 // hits and single-flight waiters are never shed.  The acquire happens
 // under c.mu, before the in-flight entry exists — a shed request
 // leaves no entry behind and can never be cached.
-func (c *resultCache) do(key cacheKey, gate *obs.Gate, compute func() ([]byte, string, error)) (data []byte, ctype string, err error, hit bool) {
+//
+// ctx cancels *waiting*, not computing: a single-flight waiter whose
+// client disconnects returns ctx.Err() immediately while the in-flight
+// computation keeps running for the remaining waiters.  The compute
+// callback observes its own caller's context (threaded through the
+// closure); a canceled compute returns its error uncached, so the next
+// request retries — and resumable dataset builds pick up where the
+// canceled one stopped.
+func (c *resultCache) do(ctx context.Context, key cacheKey, gate *obs.Gate, compute func() ([]byte, string, error)) (data []byte, ctype string, err error, hit bool) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, "", ctx.Err(), false
+		}
 		return e.data, e.ctype, e.err, true
 	}
 	if gate != nil && !gate.TryAcquire() {

@@ -161,3 +161,90 @@ func LoadGenPaths(h http.Handler, paths []string, concurrency int, d time.Durati
 	rep.P50, rep.P95, rep.P99 = pct(all, 0.50), pct(all, 0.95), pct(all, 0.99)
 	return rep
 }
+
+// StreamLoadReport summarizes a streaming load-generation run: full
+// /v1/stream walks per worker, measured in rows per second (the
+// number benchdiff gates cursor overhead with).
+type StreamLoadReport struct {
+	Path        string
+	Concurrency int
+	Streams     int // completed stream responses
+	Rows        int // day rows across all streams
+	Errors      int // non-200 responses or streams without a done record
+	Duration    time.Duration
+}
+
+// RowsPerSec returns the achieved row throughput.
+func (r StreamLoadReport) RowsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Rows) / r.Duration.Seconds()
+}
+
+func (r StreamLoadReport) String() string {
+	return fmt.Sprintf("loadgen -stream %s: %d streams, %d rows, %d errors, %d workers, %.1fs -> %.0f rows/s",
+		r.Path, r.Streams, r.Rows, r.Errors, r.Concurrency, r.Duration.Seconds(), r.RowsPerSec())
+}
+
+// LoadGenStream drives concurrency workers against one /v1/stream path
+// for roughly the given duration: each worker runs complete NDJSON
+// walks back to back and counts the day rows it received.  Like
+// LoadGen, requests are dispatched in-process, so the number measures
+// the cursor walk + per-row encoding, not socket throughput.
+func LoadGenStream(h http.Handler, path string, concurrency int, d time.Duration) StreamLoadReport {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	var (
+		wg                    sync.WaitGroup
+		mu                    sync.Mutex
+		streams, rows, errCnt int
+	)
+	stop := time.Now().Add(d)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ls, lr, le int
+			for time.Now().Before(stop) {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				if rec.Code != http.StatusOK {
+					le++
+					continue
+				}
+				n, done := 0, false
+				for _, line := range strings.Split(rec.Body.String(), "\n") {
+					switch {
+					case strings.HasPrefix(line, `{"day"`):
+						n++
+					case strings.HasPrefix(line, `{"done"`):
+						done = true
+					}
+				}
+				if !done {
+					le++
+					continue
+				}
+				ls++
+				lr += n
+			}
+			mu.Lock()
+			streams += ls
+			rows += lr
+			errCnt += le
+			mu.Unlock()
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	return StreamLoadReport{
+		Path:        path,
+		Concurrency: concurrency,
+		Streams:     streams,
+		Rows:        rows,
+		Errors:      errCnt,
+		Duration:    time.Since(start),
+	}
+}

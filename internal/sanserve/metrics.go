@@ -22,6 +22,9 @@ type serverMetrics struct {
 	panics           atomic.Uint64
 	reloads          atomic.Uint64
 	reloadErrors     atomic.Uint64
+	streamsTotal     atomic.Uint64
+	streamRows       atomic.Uint64
+	streamsCanceled  atomic.Uint64
 }
 
 // registerMetrics wires every server-level series into the registry.
@@ -57,6 +60,15 @@ func (s *Server) registerMetrics() {
 	// failure keeps the previous mounts serving).
 	reg.Counter("sanserve_reloads_total", nil, s.met.reloads.Load)
 	reg.Counter("sanserve_reload_errors_total", nil, s.met.reloadErrors.Load)
+
+	// Streaming: lifetime stream count, rows emitted, walks ended by
+	// cancellation (client disconnect or server drain), and the gauge of
+	// streams currently in flight — a stream stays active until its
+	// handler unwinds, so drains are observable on /metrics.
+	reg.Counter("sanserve_streams_total", nil, s.met.streamsTotal.Load)
+	reg.Counter("sanserve_stream_rows_total", nil, s.met.streamRows.Load)
+	reg.Counter("sanserve_streams_canceled_total", nil, s.met.streamsCanceled.Load)
+	reg.Gauge("sanserve_streams_active", nil, func() float64 { return float64(s.ActiveStreams()) })
 
 	// The async analytics pipeline: folded rows and the explicit
 	// overload drop counter (request recording never blocks).
@@ -169,6 +181,8 @@ func endpointOf(path string) (endpoint, figure string) {
 		return "figures", path[len("/v1/figures/"):]
 	case strings.HasPrefix(path, "/v1/compare/"):
 		return "compare", path[len("/v1/compare/"):]
+	case strings.HasPrefix(path, "/v1/stream/"):
+		return "stream", ""
 	case path == "/v1/snapshots/stats":
 		return "stats_sweep", ""
 	case path == "/v1/admin/reload":
@@ -192,3 +206,7 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flush through this wrapper (the stream handler flushes per record).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

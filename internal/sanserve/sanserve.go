@@ -34,8 +34,10 @@
 package sanserve
 
 import (
+	"context"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -95,6 +97,13 @@ type Options struct {
 	// RetryAfter is the Retry-After hint attached to shed responses
 	// (default 1s, rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
+
+	// StreamHeartbeat is the idle-heartbeat interval of /v1/stream
+	// responses (default 10s): a stream that has not emitted a row for
+	// this long writes a {"heartbeat":true} record so proxies and
+	// clients can distinguish a slow walk (live tail, paced replay)
+	// from a dead connection.  Negative disables heartbeats.
+	StreamHeartbeat time.Duration
 }
 
 // Server answers figure and snapshot queries for a set of mounted
@@ -137,6 +146,12 @@ type Server struct {
 	// runFigure dispatches into the experiments registry; tests
 	// override it to count driver invocations.
 	runFigure func(id string, ds *experiments.Dataset) (experiments.Figure, error)
+
+	// streams tracks every in-flight /v1/stream response by its cancel
+	// function, so DrainStreams can end them with a terminal record and
+	// wait for the handlers to unwind (see stream.go).
+	streamMu sync.Mutex
+	streams  map[*streamHandle]struct{}
 }
 
 // Mount is one served timeline pair: the full SAN sequence and the
@@ -159,6 +174,21 @@ type Mount struct {
 	ds        *experiments.Dataset
 	fullStore *snapstore.Store
 	viewStore *snapstore.Store
+
+	// live, when non-nil, marks a live mount (MountLive): a timeline
+	// still being produced by a running simulation.  Live mounts serve
+	// only /v1/stream — Full/View/ds/stores are nil, since figures and
+	// snapshots need a finished, validated timeline.
+	live *snapstore.Live
+}
+
+// IsLive reports whether this mount tails a still-producing timeline.
+func (m *Mount) IsLive() bool { return m.live != nil }
+
+// errLiveMount is the rejection every non-stream endpoint gives a live
+// mount.
+func errLiveMount(name string) string {
+	return fmt.Sprintf("timeline %q is live (still being produced); only /v1/stream serves it", name)
 }
 
 // New returns a Server with no mounts.
@@ -171,6 +201,9 @@ func New(opts Options) *Server {
 	}
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = time.Second
+	}
+	if opts.StreamHeartbeat == 0 {
+		opts.StreamHeartbeat = 10 * time.Second
 	}
 	logger := opts.Logger
 	if logger == nil {
@@ -186,6 +219,7 @@ func New(opts Options) *Server {
 		gate:             obs.NewGate(opts.MaxBuilds),
 		mounts:           map[string]*Mount{},
 		mountMetricNames: map[string]bool{},
+		streams:          map[*streamHandle]struct{}{},
 		loadTimelines:    scenario.Timelines,
 		runFigure:        experiments.RunOn,
 	}
@@ -210,6 +244,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/compare/{id}", s.handleCompare)
 	s.mux.HandleFunc("GET /v1/snapshots/{day}/stats", s.handleSnapshotStats)
 	s.mux.HandleFunc("GET /v1/snapshots/stats", s.handleStatsSweep)
+	s.mux.HandleFunc("GET /v1/stream/{timeline}", s.handleStream)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	return s
 }
@@ -469,12 +504,25 @@ type TimelineInfo struct {
 	FullBytes int    `json:"full_bytes"`
 	ViewBytes int    `json:"view_bytes"`
 	SameView  bool   `json:"view_is_full"`
+	// Live marks a still-producing timeline (MountLive): Days is the
+	// count appended so far, and only /v1/stream serves it.
+	Live bool `json:"live,omitempty"`
 }
 
 func (s *Server) handleTimelines(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	infos := make([]TimelineInfo, 0, len(s.mounts))
 	for _, m := range s.mounts {
+		if m.IsLive() {
+			infos = append(infos, TimelineInfo{
+				Name:      m.Name,
+				Days:      m.live.NumDays(),
+				FullBytes: m.live.PackedBytes(),
+				SameView:  true,
+				Live:      true,
+			})
+			continue
+		}
 		infos = append(infos, TimelineInfo{
 			Name:      m.Name,
 			Days:      m.Full.NumDays(),
@@ -517,6 +565,10 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	if m.IsLive() {
+		httpError(w, http.StatusBadRequest, errLiveMount(m.Name))
+		return
+	}
 	lo, hi, err := parseDayRange(r, m.Full.NumDays())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -530,7 +582,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json or gob)", format))
 		return
 	}
-	data, ctype, err, hit := s.figureResult(m, id, lo, hi, format)
+	data, ctype, err, hit := s.figureResult(r.Context(), m, id, lo, hi, format)
 	if err != nil {
 		s.writeFigureError(w, err, err.Error())
 		return
@@ -552,7 +604,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 // hit the same (timeline, figure, day-range, format) cache keys with
 // single-flight de-duplication, so a comparison warms the per-scenario
 // cache and vice versa.
-func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([]byte, string, error, bool) {
+//
+// ctx is the requesting client's: a disconnect mid-build cancels the
+// dataset walk at the next day boundary, releasing the admission-gate
+// slot.  The canceled build stays resumable — the next request for any
+// figure on this mount continues it instead of starting over.
+func (s *Server) figureResult(ctx context.Context, m *Mount, id string, lo, hi int, format string) ([]byte, string, error, bool) {
 	// A range spanning the whole timeline is the same query as no
 	// range at all; normalizing here keeps the clipping behavior fully
 	// determined by the cache key (lo, hi).
@@ -560,7 +617,14 @@ func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([
 	s.met.figureRequests.Add(1)
 
 	key := cacheKey{timeline: m.Name, gen: m.gen, figure: id, lo: lo, hi: hi, format: format}
-	data, ctype, err, hit := s.cache.do(key, s.gate, func() ([]byte, string, error) {
+	data, ctype, err, hit := s.cache.do(ctx, key, s.gate, func() ([]byte, string, error) {
+		// Only figures that read the measured dataset pay for (and can
+		// cancel) the build; model-only figures never touch it.
+		if experiments.NeedsDataset(id) {
+			if err := m.ds.Build(ctx); err != nil {
+				return nil, "", err
+			}
+		}
 		fig, err := s.runFigure(id, m.ds)
 		if err != nil {
 			return nil, "", &statusError{http.StatusNotFound, err.Error()}
@@ -603,15 +667,26 @@ func (s *Server) figureResult(m *Mount, id string, lo, hi int, format string) ([
 	return data, ctype, err, hit
 }
 
+// statusClientClosedRequest is the nginx convention for "the client
+// disconnected before the response was ready"; nobody reads the body,
+// but the access log and audit rows distinguish it from server faults.
+const statusClientClosedRequest = 499
+
 // writeFigureError maps a figureResult error onto an HTTP response.
 // Shed responses (429) get the Retry-After hint and are not counted
 // as figure errors — admission control working as intended is not a
-// failure; everything else increments sanserve_figure_errors_total.
+// failure — and neither is a context cancellation (the client hung
+// up; the build it may have interrupted resumes on the next request);
+// everything else increments sanserve_figure_errors_total.
 func (s *Server) writeFigureError(w http.ResponseWriter, err error, msg string) {
 	code := http.StatusInternalServerError
 	var se *statusError
 	if asStatusError(err, &se) {
 		code = se.code
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		httpError(w, statusClientClosedRequest, msg)
+		return
 	}
 	if code == http.StatusTooManyRequests {
 		secs := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
@@ -708,6 +783,10 @@ func (s *Server) handleSnapshotStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	if m.IsLive() {
+		httpError(w, http.StatusBadRequest, errLiveMount(m.Name))
+		return
+	}
 	day, err := strconv.Atoi(r.PathValue("day"))
 	if err != nil || day < 1 || day > m.Full.NumDays() {
 		httpError(w, http.StatusBadRequest,
@@ -735,6 +814,10 @@ func (s *Server) handleStatsSweep(w http.ResponseWriter, r *http.Request) {
 	m, err := s.mountFor(r)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if m.IsLive() {
+		httpError(w, http.StatusBadRequest, errLiveMount(m.Name))
 		return
 	}
 	lo, hi, err := parseDayRange(r, m.Full.NumDays())

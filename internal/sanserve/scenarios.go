@@ -62,6 +62,10 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	infos := make([]ScenarioInfo, 0, len(s.mounts))
 	for _, m := range s.mounts {
+		if m.IsLive() {
+			infos = append(infos, ScenarioInfo{Name: m.Name, Days: m.live.NumDays()})
+			continue
+		}
 		info := ScenarioInfo{
 			Name:      m.Name,
 			Days:      m.Full.NumDays(),
@@ -111,7 +115,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("scenario %q: %v", m.Name, err))
 			return
 		}
-		data, _, err, _ := s.figureResult(m, id, lo, hi, "json")
+		data, _, err, _ := s.figureResult(r.Context(), m, id, lo, hi, "json")
 		if err != nil {
 			s.writeFigureError(w, err, fmt.Sprintf("scenario %q: %v", m.Name, err))
 			return
@@ -134,7 +138,15 @@ func (s *Server) compareMounts(param string) ([]*Mount, error) {
 	if param == "" {
 		mounts := make([]*Mount, 0, len(s.mounts))
 		for _, m := range s.mounts {
+			// Live mounts have no figures to compare; the implicit
+			// all-scenarios form skips them rather than failing.
+			if m.IsLive() {
+				continue
+			}
 			mounts = append(mounts, m)
+		}
+		if len(mounts) == 0 {
+			return nil, fmt.Errorf("no comparable timelines mounted (live mounts serve only /v1/stream)")
 		}
 		sort.Slice(mounts, func(i, j int) bool { return mounts[i].Name < mounts[j].Name })
 		return mounts, nil
@@ -150,6 +162,9 @@ func (s *Server) compareMounts(param string) ([]*Mount, error) {
 		m, ok := s.mounts[name]
 		if !ok {
 			return nil, fmt.Errorf("unknown scenario %q (see /v1/scenarios)", name)
+		}
+		if m.IsLive() {
+			return nil, fmt.Errorf("%s", errLiveMount(name))
 		}
 		mounts = append(mounts, m)
 	}

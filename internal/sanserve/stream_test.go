@@ -1,0 +1,459 @@
+package sanserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/snapstore"
+)
+
+// streamLine is the union of every /v1/stream record shape: per-day
+// rows, heartbeats, and the terminal done/error record.
+type streamLine struct {
+	StreamRecord
+	Done      bool   `json:"done"`
+	Rows      int    `json:"rows"`
+	Error     string `json:"error"`
+	Heartbeat bool   `json:"heartbeat"`
+}
+
+// parseStream splits an NDJSON stream body into day rows and the
+// terminal record, dropping heartbeats.
+func parseStream(t *testing.T, r io.Reader) (rows []streamLine, terminal *streamLine) {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line streamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Heartbeat:
+		case line.Done || line.Error != "":
+			if terminal != nil {
+				t.Fatalf("two terminal records (second: %q)", sc.Text())
+			}
+			terminal = &line
+		default:
+			if terminal != nil {
+				t.Fatalf("day row after terminal record: %q", sc.Text())
+			}
+			rows = append(rows, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return rows, terminal
+}
+
+// TestStreamMatchesBatch is the streaming side of the bitwise-identity
+// contract: metrics=all rows must carry exactly the per-day values the
+// batch dataset (and hence every figure) reports.  JSON round-trips
+// float64 exactly, so == here really is bitwise.
+func TestStreamMatchesBatch(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	full, view := testTimelines(t)
+
+	rec := get(t, h, "/v1/stream/gplus?metrics=all")
+	if rec.Code != 200 {
+		t.Fatalf("stream: %d %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+	rows, terminal := parseStream(t, rec.Body)
+	if len(rows) != full.NumDays() {
+		t.Fatalf("%d rows, want %d", len(rows), full.NumDays())
+	}
+	if terminal == nil || !terminal.Done || terminal.Rows != len(rows) {
+		t.Fatalf("terminal record: %+v", terminal)
+	}
+
+	batch := experiments.NewTimelineDataset(testConfig(), full, view)
+	days := batch.Days()
+	for i, row := range rows {
+		if row.Day != i+1 {
+			t.Fatalf("row %d has day %d", i, row.Day)
+		}
+		st := days[i].Stats
+		if row.SocialNodes != st.SocialNodes || row.SocialLinks != st.SocialLinks ||
+			row.AttrNodes != st.AttrNodes || row.AttrLinks != st.AttrLinks {
+			t.Fatalf("day %d stats diverge: %+v vs %+v", row.Day, row.StreamRecord, st)
+		}
+		for name, field := range streamMetricFields {
+			want := field(days[i])
+			got, ok := row.Metrics[name]
+			if math.IsNaN(want) {
+				if ok {
+					t.Errorf("day %d metric %s: got %v, want omitted (NaN)", row.Day, name, got)
+				}
+				continue
+			}
+			if !ok || got != want {
+				t.Errorf("day %d metric %s: got %v (present=%v), want %v", row.Day, name, got, ok, want)
+			}
+		}
+	}
+
+	// Cumulative delta summaries must reconcile with the final stats.
+	nodes, links := 0, 0
+	for _, row := range rows {
+		nodes += row.NewNodes
+		links += row.NewSocialLinks
+	}
+	last := rows[len(rows)-1]
+	if nodes != last.SocialNodes || links != last.SocialLinks {
+		t.Errorf("delta summaries sum to %d nodes / %d links, final stats say %d / %d",
+			nodes, links, last.SocialNodes, last.SocialLinks)
+	}
+}
+
+// TestStreamSeekRange checks the summaries-only fast path: a from=
+// range with no metrics seeks past the prefix, and the rows it serves
+// are identical to the same days of a full walk.
+func TestStreamSeekRange(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+
+	all, _ := parseStream(t, get(t, h, "/v1/stream/gplus").Body)
+	rec := get(t, h, "/v1/stream/gplus?from=5&to=8")
+	if rec.Code != 200 {
+		t.Fatalf("ranged stream: %d %s", rec.Code, rec.Body.String())
+	}
+	rows, terminal := parseStream(t, rec.Body)
+	if len(rows) != 4 || terminal == nil || terminal.Rows != 4 {
+		t.Fatalf("ranged stream: %d rows, terminal %+v", len(rows), terminal)
+	}
+	for i, row := range rows {
+		if !reflect.DeepEqual(row, all[4+i]) {
+			t.Fatalf("day %d diverges after seek: %+v vs %+v", row.Day, row, all[4+i])
+		}
+	}
+
+	for path, code := range map[string]int{
+		"/v1/stream/nope":              404,
+		"/v1/stream/gplus?from=0":      400,
+		"/v1/stream/gplus?from=99":     400,
+		"/v1/stream/gplus?to=99":       400,
+		"/v1/stream/gplus?from=5&to=2": 400,
+		"/v1/stream/gplus?metrics=bad": 400,
+		"/v1/stream/gplus?pace=x":      400,
+	} {
+		if rec := get(t, h, path); rec.Code != code {
+			t.Errorf("%s: %d, want %d (%s)", path, rec.Code, code, rec.Body.String())
+		}
+	}
+}
+
+// TestStreamSSE checks the Accept-negotiated framing: same records,
+// wrapped as SSE data events.
+func TestStreamSSE(t *testing.T) {
+	s := newTestServer(t, Options{})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/v1/stream/gplus?to=3", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("sse stream: %d %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("content type %q, want text/event-stream", ct)
+	}
+	frames := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n\n")
+	if len(frames) != 4 { // 3 days + terminal
+		t.Fatalf("%d frames, want 4: %q", len(frames), frames)
+	}
+	for _, f := range frames {
+		if !strings.HasPrefix(f, "data: ") {
+			t.Fatalf("frame without data prefix: %q", f)
+		}
+		var line streamLine
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(f, "data: ")), &line); err != nil {
+			t.Fatalf("bad sse frame %q: %v", f, err)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestStreamCancelNoLeak is the disconnect-storm gate (run under
+// -race): 100 concurrent paced streams, every client canceled
+// mid-walk, must all unwind — no stuck handlers, no leaked walk or
+// heartbeat goroutines — and each cancellation must be counted.
+func TestStreamCancelNoLeak(t *testing.T) {
+	s := newTestServer(t, Options{StreamHeartbeat: 5 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		ts.Close()
+		waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
+			runtime.GC()
+			return runtime.NumGoroutine() <= before+5
+		})
+	})
+
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/stream/gplus?pace=400", nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("stream request: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			// Read one row so the walk is provably in flight, then hang up.
+			if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+				t.Errorf("first row: %v", err)
+				return
+			}
+			cancel()
+		}()
+	}
+	wg.Wait()
+
+	waitFor(t, 10*time.Second, "streams to unwind", func() bool { return s.ActiveStreams() == 0 })
+	if got := s.met.streamsCanceled.Load(); got < n {
+		t.Errorf("streams_canceled_total = %d, want >= %d", got, n)
+	}
+	if got := s.met.streamsTotal.Load(); got != n {
+		t.Errorf("streams_total = %d, want %d", got, n)
+	}
+}
+
+// TestDrainStreams checks graceful shutdown: draining an in-flight
+// stream delivers a terminal NDJSON error record (not a cut socket),
+// counts the stream as canceled, and empties the active gauge.
+func TestDrainStreams(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stream/gplus?pace=400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("first row: %v", err)
+	}
+	waitFor(t, 5*time.Second, "stream to register", func() bool { return s.ActiveStreams() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.DrainStreams(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := s.ActiveStreams(); n != 0 {
+		t.Fatalf("%d streams active after drain", n)
+	}
+
+	rows, terminal := parseStream(t, br)
+	if terminal == nil || terminal.Error == "" {
+		t.Fatalf("drained stream ended without a terminal error record (rows=%d, terminal=%+v)", len(rows), terminal)
+	}
+	if !strings.Contains(terminal.Error, "shutting down") {
+		t.Errorf("terminal error %q, want a shutdown notice", terminal.Error)
+	}
+	if got := s.met.streamsCanceled.Load(); got != 1 {
+		t.Errorf("streams_canceled_total = %d, want 1", got)
+	}
+}
+
+// TestLiveMount checks the live-tail path end to end: a producer
+// appends days to a snapstore.Live while a stream client tails it, the
+// stream finishes when the producer does, and every non-stream
+// endpoint refuses the mount.
+func TestLiveMount(t *testing.T) {
+	full, _ := testTimelines(t)
+	s := New(Options{Cfg: testConfig()})
+	live := snapstore.NewLive()
+	if err := s.MountLive("run", live); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MountLive("run", live); err == nil {
+		t.Fatal("duplicate live mount accepted")
+	}
+	h := s.Handler()
+
+	// The producer replays the packed test timeline day by day.
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		cur := full.Cursor()
+		defer cur.Close()
+		for {
+			_, g, _, err := cur.Next(context.Background())
+			if err == snapstore.ErrDone {
+				live.Finish()
+				return
+			}
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := live.Append(g); err != nil {
+				done <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	rec := get(t, h, "/v1/stream/run?metrics=cc,recip")
+	if err := <-done; err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	if rec.Code != 200 {
+		t.Fatalf("live stream: %d %s", rec.Code, rec.Body.String())
+	}
+	rows, terminal := parseStream(t, rec.Body)
+	if len(rows) != full.NumDays() || terminal == nil || !terminal.Done {
+		t.Fatalf("live stream: %d rows (want %d), terminal %+v", len(rows), full.NumDays(), terminal)
+	}
+
+	// Every other data endpoint must refuse the live mount.
+	for _, path := range []string{
+		"/v1/figures/2?timeline=run",
+		"/v1/snapshots/3/stats?timeline=run",
+		"/v1/snapshots/stats?timeline=run",
+		"/v1/compare/2?scenarios=run",
+	} {
+		rec := get(t, h, path)
+		if rec.Code == 200 {
+			t.Errorf("%s served a live mount: %s", path, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), "live") {
+			t.Errorf("%s error does not mention live: %s", path, rec.Body.String())
+		}
+	}
+	var tls struct {
+		Timelines []TimelineInfo `json:"timelines"`
+	}
+	if err := json.Unmarshal(get(t, h, "/v1/timelines").Body.Bytes(), &tls); err != nil {
+		t.Fatal(err)
+	}
+	if len(tls.Timelines) != 1 || !tls.Timelines[0].Live || tls.Timelines[0].Days != full.NumDays() {
+		t.Fatalf("timelines listing: %+v", tls.Timelines)
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err checks; the
+// fold cursor polls Err once per day, so this lands the cancellation at
+// an exact day boundary mid-build.
+type countdownCtx struct {
+	context.Context
+	checks int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.checks <= 0 {
+		return context.Canceled
+	}
+	c.checks--
+	return nil
+}
+
+// TestCancelMidBuildFreesGate is the admission-control regression test:
+// a client that disconnects mid-build must release its gate slot (not
+// pin it until the walk finishes), and the next request must be
+// admitted and complete by resuming the same build.
+func TestCancelMidBuildFreesGate(t *testing.T) {
+	s := newTestServer(t, Options{MaxBuilds: 1})
+	s.mu.RLock()
+	m := s.mounts["gplus"]
+	s.mu.RUnlock()
+
+	_, _, err, _ := s.figureResult(&countdownCtx{Context: context.Background(), checks: 3}, m, "2", 1, 12, "json")
+	if err != context.Canceled {
+		t.Fatalf("canceled build returned %v, want context.Canceled", err)
+	}
+	if n := s.gate.InFlight(); n != 0 {
+		t.Fatalf("%d build slots still held after cancellation", n)
+	}
+	days := s.simProg.Days()
+	if days == 0 || days >= 12 {
+		t.Fatalf("countdown canceled after %d folded days, want mid-build (0 < days < 12)", days)
+	}
+
+	// The gate has one slot; with the canceled build's slot freed the
+	// next request must be admitted, resume, and succeed.
+	data, _, err, _ := s.figureResult(context.Background(), m, "2", 1, 12, "json")
+	if err != nil || len(data) == 0 {
+		t.Fatalf("post-cancel build: %v", err)
+	}
+	if got := s.simProg.Days(); got != 12 {
+		t.Errorf("resumed build folded %d total days, want 12 (no restart)", got)
+	}
+
+	// End-to-end flavor: against a mount whose dataset is still
+	// unbuilt, a request whose context is already canceled answers 499
+	// and is not counted as a figure error.
+	full, view := testTimelines(t)
+	if err := s.Mount("cold", full, view); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/v1/figures/4?timeline=cold", nil).WithContext(ctx)
+	errsBefore := s.met.figureErrors.Load()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("canceled request: %d %s, want 499", rec.Code, rec.Body.String())
+	}
+	if got := s.met.figureErrors.Load(); got != errsBefore {
+		t.Errorf("client cancellation counted as a figure error")
+	}
+}
+
+// BenchmarkStreamRows pins per-row stream cost: one full NDJSON walk
+// (summaries only) per iteration, reported as rows/s.
+func BenchmarkStreamRows(b *testing.B) {
+	h := benchHandler(b)
+	const days = 12 // the bench timeline's length
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stream/gplus", nil))
+		if rec.Code != 200 {
+			b.Fatalf("stream: %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*days)/b.Elapsed().Seconds(), "rows/s")
+}

@@ -1,12 +1,17 @@
 package scenario
 
 import (
+	"context"
+	"errors"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gplus"
+	"repro/internal/obs"
 )
 
 // smallBase is a laptop-instant base configuration every (non-phase)
@@ -219,5 +224,55 @@ func TestSweepRejectsBadInputsBeforeSimulating(t *testing.T) {
 func TestLoadManifestRejectsCorruptWorkspaces(t *testing.T) {
 	if _, err := LoadManifest(t.TempDir()); err == nil {
 		t.Error("empty dir must not load")
+	}
+}
+
+// TestSweepCtxCancel checks the cancelable sweep: a canceled context
+// must abort in-flight simulations at a day boundary, feed no further
+// scenarios, surface context.Canceled, and write no manifest.
+func TestSweepCtxCancel(t *testing.T) {
+	dir := t.TempDir()
+
+	// Pre-canceled: nothing runs at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepCtx(ctx, Options{Dir: dir, Scenarios: []string{"baseline"}, Base: smallBase()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled sweep: %v, want context.Canceled", err)
+	}
+
+	// Mid-run: cancel once the day counter proves a simulation is in
+	// flight.  The run is long enough that it cannot complete before
+	// the cancellation lands, and the single worker proves the feeder
+	// stops handing out scenarios.
+	long := smallBase()
+	long.Days = 2000
+	prog := &obs.Progress{}
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := SweepCtx(ctx, Options{
+			Dir: dir, Scenarios: []string{"baseline", "social-only"},
+			Base: long, Workers: 1, Obs: prog,
+		})
+		done <- err
+	}()
+	deadline := time.After(10 * time.Second)
+	for prog.Days() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sweep never simulated a day")
+		case err := <-done:
+			t.Fatalf("sweep finished before cancellation: %v", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep: %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); !os.IsNotExist(err) {
+		t.Errorf("canceled sweep left a manifest (stat err: %v)", err)
 	}
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/gplus"
 	"repro/internal/obs"
+	"repro/internal/san"
 	"repro/internal/snapstore"
 )
 
@@ -118,6 +120,15 @@ type Options struct {
 // controlled experiment: identical arrivals-randomness, different
 // mechanisms.
 func Sweep(opts Options) (*Manifest, error) {
+	return SweepCtx(context.Background(), opts)
+}
+
+// SweepCtx is Sweep with cancellation: a canceled ctx stops feeding
+// new scenarios to the workers and aborts each in-flight simulation at
+// its next day boundary (partial timeline files are cleaned up by the
+// stream writers' abort path).  No manifest is written on
+// cancellation; the returned error is ctx's.
+func SweepCtx(ctx context.Context, opts Options) (*Manifest, error) {
 	base := opts.Base
 	if base.Days == 0 {
 		base = gplus.DefaultConfig()
@@ -179,7 +190,10 @@ func Sweep(opts Options) (*Manifest, error) {
 			// scenario.  Arenas are never shared across workers.
 			scratch := gplus.NewScratch()
 			for i := range jobs {
-				run, err := runOne(opts.Dir, scens[i], cfgs[i], scratch, opts.Obs)
+				if ctx.Err() != nil {
+					continue // drain the queue without simulating
+				}
+				run, err := runOne(ctx, opts.Dir, scens[i], cfgs[i], scratch, opts.Obs)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err)
@@ -193,11 +207,19 @@ func Sweep(opts Options) (*Manifest, error) {
 			}
 		}()
 	}
+feed:
 	for i := range names {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
 	}
@@ -214,7 +236,7 @@ func Sweep(opts Options) (*Manifest, error) {
 // workspace as they are packed (each worker's resident memory is its
 // live SAN plus one day's records, never two whole timelines), reusing
 // the worker's scratch arena across scenarios.
-func runOne(dir string, s Scenario, cfg gplus.Config, scratch *gplus.Scratch, prog *obs.Progress) (Run, error) {
+func runOne(ctx context.Context, dir string, s Scenario, cfg gplus.Config, scratch *gplus.Scratch, prog *obs.Progress) (Run, error) {
 	start := time.Now()
 	sim := gplus.NewWithScratch(cfg, scratch)
 	sim.Progress = prog
@@ -236,7 +258,13 @@ func runOne(dir string, s Scenario, cfg gplus.Config, scratch *gplus.Scratch, pr
 		return Run{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	defer view.Abort()
-	if err := sim.StreamTimelines(1, 0, full, view, nil); err != nil {
+	// The per-day hook polls ctx, so a canceled sweep abandons this
+	// simulation at the next day boundary instead of running it out.
+	perDay := func(int, *san.SAN, *san.SAN) error { return ctx.Err() }
+	if err := sim.StreamTimelines(1, 0, full, view, perDay); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return Run{}, err
+		}
 		return Run{}, fmt.Errorf("scenario %q: packing: %w", s.Name, err)
 	}
 	run.Days = full.NumDays()

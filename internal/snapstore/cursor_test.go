@@ -1,0 +1,329 @@
+package snapstore_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gplus"
+	"repro/internal/san"
+	"repro/internal/snapstore"
+)
+
+// TestCursorMatchesFold pins the bitwise contract of the refactor:
+// walking a timeline pair through CursorN yields, day by day, exactly
+// the graphs and deltas the FoldN visitor receives — same day order,
+// same delta contents, same graph structure.
+func TestCursorMatchesFold(t *testing.T) {
+	cfg := testCfg()
+	cfg.Days = 30
+	full, view, err := gplus.New(cfg).RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tls := []*snapstore.Timeline{full, view}
+
+	// Record the fold side: per-day delta copies and per-day stats
+	// (deep graph comparison happens against reconstruction below).
+	type dayRec struct {
+		stats  []san.Stats
+		deltas []snapstore.Delta
+	}
+	var want []dayRec
+	err = snapstore.FoldN(tls, func(day int, gs []*san.SAN, ds []*snapstore.Delta) error {
+		rec := dayRec{}
+		for i := range gs {
+			rec.stats = append(rec.stats, gs[i].Stats())
+			d := snapstore.Delta{
+				NewSocial:   ds[i].NewSocial,
+				NewAttrs:    ds[i].NewAttrs,
+				SocialEdges: append([]snapstore.SocialEdge(nil), ds[i].SocialEdges...),
+				AttrLinks:   append([]snapstore.AttrLink(nil), ds[i].AttrLinks...),
+			}
+			rec.deltas = append(rec.deltas, d)
+		}
+		want = append(want, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := snapstore.OpenCursorN(tls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	ctx := context.Background()
+	for day := 0; ; day++ {
+		gotDay, gs, ds, err := cur.Next(ctx)
+		if err == snapstore.ErrDone {
+			if day != len(want) {
+				t.Fatalf("cursor ended after %d days, fold visited %d", day, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDay != day {
+			t.Fatalf("cursor returned day %d, want %d", gotDay, day)
+		}
+		for i := range gs {
+			if gs[i].Stats() != want[day].stats[i] {
+				t.Fatalf("day %d source %d: cursor graph %+v, fold graph %+v",
+					day, i, gs[i].Stats(), want[day].stats[i])
+			}
+			w := want[day].deltas[i]
+			if ds[i].NewSocial != w.NewSocial || ds[i].NewAttrs != w.NewAttrs ||
+				len(ds[i].SocialEdges) != len(w.SocialEdges) || len(ds[i].AttrLinks) != len(w.AttrLinks) {
+				t.Fatalf("day %d source %d: cursor delta shape differs from fold", day, i)
+			}
+			for j, e := range ds[i].SocialEdges {
+				if e != w.SocialEdges[j] {
+					t.Fatalf("day %d source %d: social edge %d: cursor %v, fold %v", day, i, j, e, w.SocialEdges[j])
+				}
+			}
+			for j, l := range ds[i].AttrLinks {
+				if l != w.AttrLinks[j] {
+					t.Fatalf("day %d source %d: attr link %d: cursor %v, fold %v", day, i, j, l, w.AttrLinks[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCursorSeekMatchesNext checks that Seek(k) leaves the cursor in
+// exactly the state sequential Next calls reach: the day returned
+// after the seek carries the same graph and the same delta.
+func TestCursorSeekMatchesNext(t *testing.T) {
+	cfg := testCfg()
+	cfg.Days = 25
+	tl, _, err := gplus.New(cfg).RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, k := range []int{0, 1, 7, tl.NumDays() - 1} {
+		seq := tl.Cursor()
+		var wantG *san.SAN
+		var wantD snapstore.Delta
+		for {
+			day, g, d, err := seq.Next(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if day == k {
+				wantG = g
+				wantD = snapstore.Delta{
+					NewSocial:   d.NewSocial,
+					NewAttrs:    d.NewAttrs,
+					SocialEdges: append([]snapstore.SocialEdge(nil), d.SocialEdges...),
+					AttrLinks:   append([]snapstore.AttrLink(nil), d.AttrLinks...),
+				}
+				break
+			}
+		}
+
+		skipped := tl.Cursor()
+		if err := skipped.Seek(k); err != nil {
+			t.Fatalf("Seek(%d): %v", k, err)
+		}
+		day, g, d, err := skipped.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next after Seek(%d): %v", k, err)
+		}
+		if day != k {
+			t.Fatalf("Next after Seek(%d) returned day %d", k, day)
+		}
+		if err := snapstore.SameSAN(wantG, g); err != nil {
+			t.Fatalf("Seek(%d): graph differs from sequential walk: %v", k, err)
+		}
+		if d.NewSocial != wantD.NewSocial || d.NewAttrs != wantD.NewAttrs ||
+			len(d.SocialEdges) != len(wantD.SocialEdges) || len(d.AttrLinks) != len(wantD.AttrLinks) {
+			t.Fatalf("Seek(%d): delta shape differs from sequential walk", k)
+		}
+		for j, e := range d.SocialEdges {
+			if e != wantD.SocialEdges[j] {
+				t.Fatalf("Seek(%d): social edge %d differs", k, j)
+			}
+		}
+		seq.Close()
+		skipped.Close()
+	}
+}
+
+// TestCursorSeekErrors covers backward and past-the-end seeks.
+func TestCursorSeekErrors(t *testing.T) {
+	cfg := testCfg()
+	cfg.Days = 6
+	tl, _, err := gplus.New(cfg).RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := tl.Cursor()
+	defer cur.Close()
+	if err := cur.Seek(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := cur.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Seek(2); err == nil {
+		t.Error("backward Seek should error")
+	}
+	if err := cur.Seek(tl.NumDays() + 3); err == nil {
+		t.Error("past-the-end Seek should error")
+	}
+}
+
+// TestCursorContextCancel checks that a canceled context stops the
+// walk between days with the context's error, and that Close makes
+// later calls fail.
+func TestCursorContextCancel(t *testing.T) {
+	cfg := testCfg()
+	cfg.Days = 10
+	tl, _, err := gplus.New(cfg).RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cur := tl.Cursor()
+	if _, _, _, err := cur.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, _, _, err := cur.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next on canceled ctx: %v, want context.Canceled", err)
+	}
+	cur.Close()
+	if _, _, _, err := cur.Next(context.Background()); err == nil {
+		t.Error("Next on closed cursor should error")
+	}
+	if err := cur.Seek(5); err == nil {
+		t.Error("Seek on closed cursor should error")
+	}
+}
+
+// TestCursorEmptyAndMismatch covers the open-time validation paths.
+func TestCursorEmptyAndMismatch(t *testing.T) {
+	if _, err := snapstore.OpenCursorN(nil); err == nil {
+		t.Error("OpenCursorN with no timelines should error")
+	}
+	if _, err := snapstore.OpenSourceCursorN(); err == nil {
+		t.Error("OpenSourceCursorN with no sources should error")
+	}
+	cfg := testCfg()
+	cfg.Days = 8
+	a, _, err := gplus.New(cfg).RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Days = 5
+	b, _, err := gplus.New(cfg).RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapstore.OpenCursorN([]*snapstore.Timeline{a, b}); err == nil {
+		t.Error("OpenCursorN with mismatched lengths should error")
+	}
+}
+
+// TestLiveTailCursor runs a producer appending days into a Live while
+// a cursor tails it: every day must arrive in order with the same
+// structure a batch walk sees, Next must block until the producer
+// delivers, and ErrDone must follow Finish.
+func TestLiveTailCursor(t *testing.T) {
+	cfg := testCfg()
+	cfg.Days = 15
+	tl, _, err := gplus.New(cfg).RunTimelines(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference walk over the packed timeline.
+	var wantStats []san.Stats
+	if err := tl.Fold(func(day int, g *san.SAN, d *snapstore.Delta) error {
+		wantStats = append(wantStats, g.Stats())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	live := snapstore.NewLive()
+	go func() {
+		// Re-produce the same evolution into the live sink by replaying
+		// the packed days.
+		g, err := tl.ReconstructAt(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := live.Append(g); err != nil {
+			t.Error(err)
+			return
+		}
+		for day := 1; day < tl.NumDays(); day++ {
+			if err := tl.ApplyDay(g, day); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := live.Append(g); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		live.Finish()
+	}()
+
+	cur, err := snapstore.OpenSourceCursorN(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	ctx := context.Background()
+	days := 0
+	for {
+		day, gs, _, err := cur.Next(ctx)
+		if err == snapstore.ErrDone {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if day != days {
+			t.Fatalf("live cursor returned day %d, want %d", day, days)
+		}
+		if gs[0].Stats() != wantStats[day] {
+			t.Fatalf("day %d: live cursor graph %+v, batch %+v", day, gs[0].Stats(), wantStats[day])
+		}
+		days++
+	}
+	if days != tl.NumDays() {
+		t.Fatalf("live cursor visited %d days, want %d", days, tl.NumDays())
+	}
+	if !live.Finished() {
+		t.Error("live timeline should report finished")
+	}
+}
+
+// TestLiveTailCancel checks a reader blocked on an idle producer is
+// released by context cancellation.
+func TestLiveTailCancel(t *testing.T) {
+	live := snapstore.NewLive()
+	cur, err := snapstore.OpenSourceCursorN(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := cur.Next(ctx)
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked Next after cancel: %v, want context.Canceled", err)
+	}
+}

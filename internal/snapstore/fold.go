@@ -1,7 +1,7 @@
 package snapstore
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/san"
 )
@@ -62,6 +62,9 @@ func (d *Delta) fromSnapshot(g *san.SAN) {
 // exception: after the final day's visit the fold never touches the
 // graph again, so a visitor may keep the last day's g instead of
 // cloning it.  The first error (decode or visitor) stops the walk.
+//
+// Fold is a thin wrapper over Cursor; callers that need to pause,
+// fast-forward or cancel the walk use the cursor directly.
 func (t *Timeline) Fold(fn func(day int, g *san.SAN, d *Delta) error) error {
 	return FoldN([]*Timeline{t}, func(day int, gs []*san.SAN, ds []*Delta) error {
 		return fn(day, gs[0], ds[0])
@@ -71,45 +74,24 @@ func (t *Timeline) Fold(fn func(day int, g *san.SAN, d *Delta) error) error {
 // FoldN is Fold over several equal-length timelines in lockstep: each
 // visit sees every timeline's graph advanced to the same day.  The
 // experiments layer folds the full-SAN and crawl-view timelines of one
-// dataset together this way.
+// dataset together this way.  It drains a CursorN to completion, so
+// the visit sequence is exactly the cursor's.
 func FoldN(tls []*Timeline, fn func(day int, gs []*san.SAN, ds []*Delta) error) error {
-	if len(tls) == 0 {
-		return fmt.Errorf("snapstore: FoldN needs at least one timeline")
-	}
-	numDays := tls[0].NumDays()
-	for _, t := range tls[1:] {
-		if t.NumDays() != numDays {
-			return fmt.Errorf("snapstore: FoldN timelines disagree on length (%d vs %d days)",
-				numDays, t.NumDays())
-		}
-	}
-	if numDays == 0 {
-		return nil
-	}
-	gs := make([]*san.SAN, len(tls))
-	ds := make([]*Delta, len(tls))
-	for i, t := range tls {
-		g, err := DecodeSnapshot(t.days[0])
-		if err != nil {
-			return fmt.Errorf("snapstore: day 0: %w", err)
-		}
-		gs[i] = g
-		ds[i] = &Delta{}
-		ds[i].fromSnapshot(g)
-	}
-	if err := fn(0, gs, ds); err != nil {
+	cur, err := OpenCursorN(tls)
+	if err != nil {
 		return err
 	}
-	for day := 1; day < numDays; day++ {
-		for i, t := range tls {
-			ds[i].reset()
-			if err := applyDeltaInto(gs[i], t.days[day], ds[i]); err != nil {
-				return fmt.Errorf("snapstore: day %d: %w", day, err)
-			}
+	defer cur.Close()
+	for {
+		day, gs, ds, err := cur.Next(context.Background())
+		if err == ErrDone {
+			return nil
+		}
+		if err != nil {
+			return err
 		}
 		if err := fn(day, gs, ds); err != nil {
 			return err
 		}
 	}
-	return nil
 }

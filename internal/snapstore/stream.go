@@ -25,6 +25,32 @@ type DaySink interface {
 	PackedBytes() int
 }
 
+// Tee returns a DaySink that forwards every Append to each of the
+// given sinks in order, stopping at the first error.  PackedBytes
+// reports the first sink's running total (each sink encodes the same
+// days, so the totals agree; counting one avoids double-billing
+// progress bytes).  A sangen -stream-out run tees its disk sink into a
+// Live so a mounted server can tail the evolution as it is produced.
+func Tee(sinks ...DaySink) DaySink { return teeSink(sinks) }
+
+type teeSink []DaySink
+
+func (t teeSink) Append(g *san.SAN) error {
+	for _, s := range t {
+		if err := s.Append(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t teeSink) PackedBytes() int {
+	if len(t) == 0 {
+		return 0
+	}
+	return t[0].PackedBytes()
+}
+
 // dayEncoder turns a sequence of append-only SAN states into timeline
 // day records: the first Append encodes a full snapshot, every later
 // one a forward delta against the per-node link counts retained from
