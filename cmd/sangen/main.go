@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -64,7 +66,15 @@ func runSweep(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 42, "base simulation seed (scenarios may override)")
 	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "emit periodic sweep progress (days simulated, links, ETA) to stderr")
+	cpuprof := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprof := fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	fs.Parse(args)
+
+	stopProf, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *list {
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -125,6 +135,43 @@ func runSweep(args []string, w io.Writer) error {
 	return nil
 }
 
+// startProfiles wires -cpuprofile/-memprofile (mirroring `sanserve
+// -pprof`, but file-based so crawl-scale batch runs need no scrape
+// endpoint): CPU profiling starts immediately, and the returned stop
+// function ends it and writes the heap profile.  Either path may be
+// empty; stop is always safe to call once.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sangen: -memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sangen: -memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
 // runGenerate is the single-network mode: one generator, one SAN, the
 // san text format.
 func runGenerate(args []string, w io.Writer) error {
@@ -145,14 +192,27 @@ func runGenerate(args []string, w io.Writer) error {
 		stopAfter = fs.Int("stop-after", 0, "with -stream-out: stop after day N, leaving a checkpoint to resume from")
 		progress  = fs.Bool("progress", false, "emit periodic progress (days, links, packed bytes, RSS) to stderr")
 		serveAddr = fs.String("serve", "", "with -stream-out: serve a live NDJSON tail of this run on ADDR (GET /v1/stream/live) while it generates")
+		parallel  = fs.Bool("parallel", false, "gplus: multicore run — per-event rng substreams (RngMode=split) plus pipelined packing; deterministic for a seed but a different sample than the sequential stream")
+		pipeline  = fs.Bool("pipeline", false, "gplus: with -stream-out, overlap packing with simulation (bitwise-identical output)")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof   = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	fs.Parse(args)
 
-	if *resume != "" {
-		return runResume(*resume, *stopAfter, *progress, *serveAddr)
+	stopProf, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		return err
 	}
-	if *streamOut == "" && (*ckptEvery > 0 || *stopAfter > 0 || *serveAddr != "") {
-		return fmt.Errorf("-checkpoint-every, -stop-after and -serve require -stream-out")
+	defer stopProf()
+
+	if *resume != "" {
+		return runResume(*resume, *stopAfter, *progress, *serveAddr, *parallel || *pipeline, *parallel)
+	}
+	if *streamOut == "" && (*ckptEvery > 0 || *stopAfter > 0 || *serveAddr != "" || *pipeline) {
+		return fmt.Errorf("-checkpoint-every, -stop-after, -serve and -pipeline require -stream-out")
+	}
+	if *parallel && *model != "gplus" {
+		return fmt.Errorf("-parallel requires -model gplus (the %s generator has no parallel mode)", *model)
 	}
 
 	var g *san.SAN
@@ -177,11 +237,14 @@ func runGenerate(args []string, w io.Writer) error {
 		if *days > 0 {
 			cfg.Days = *days
 		}
+		if *parallel {
+			cfg.RngMode = gplus.RngSplit
+		}
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
 		if *streamOut != "" {
-			return runStream(cfg, *streamOut, *observed, *ckptEvery, *stopAfter, *progress, *serveAddr)
+			return runStream(cfg, *streamOut, *observed, *ckptEvery, *stopAfter, *progress, *serveAddr, *parallel || *pipeline)
 		}
 		sim := gplus.New(cfg)
 		sim.Run(nil)

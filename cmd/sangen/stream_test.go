@@ -131,3 +131,114 @@ func TestGenerateOutputErrorsPropagate(t *testing.T) {
 		t.Fatal("writing into a missing directory must fail")
 	}
 }
+
+// TestStreamParallelKillResumeBitwiseIdentical is the same CLI
+// acceptance path for the multicore mode: a -parallel run interrupted
+// mid-stream and resumed must finalize bitwise-identical to an
+// uninterrupted -parallel run (the checkpoint carries the rng mode, so
+// resume re-enters the split discipline automatically).
+func TestStreamParallelKillResumeBitwiseIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.tl")
+	got := filepath.Join(dir, "got.tl")
+	var buf bytes.Buffer
+
+	base := []string{"-model", "gplus", "-scale", "3", "-seed", "7", "-parallel"}
+	if err := runGenerate(append(base, "-stream-out", ref), &buf); err != nil {
+		t.Fatalf("uninterrupted parallel stream: %v", err)
+	}
+	err := runGenerate(append(base, "-stream-out", got, "-checkpoint-every", "10", "-stop-after", "30"), &buf)
+	if err != nil {
+		t.Fatalf("interrupted parallel stream: %v", err)
+	}
+	ckptDir := got + ".ckpt"
+	if err := runGenerate([]string{"-resume", ckptDir, "-parallel"}, &buf); err != nil {
+		t.Fatalf("parallel resume: %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(have, want) {
+		t.Fatalf("resumed parallel run differs from uninterrupted run (%d vs %d bytes)", len(have), len(want))
+	}
+}
+
+// TestStreamPipelineMatchesSequentialFile pins the CLI form of the
+// layer-1 oracle: -pipeline changes scheduling, never bytes.
+func TestStreamPipelineMatchesSequentialFile(t *testing.T) {
+	dir := t.TempDir()
+	seq := filepath.Join(dir, "seq.tl")
+	pip := filepath.Join(dir, "pip.tl")
+	var buf bytes.Buffer
+	base := []string{"-model", "gplus", "-scale", "3", "-seed", "7"}
+	if err := runGenerate(append(base, "-stream-out", seq), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGenerate(append(base, "-pipeline", "-stream-out", pip), &buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := os.ReadFile(pip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(have, want) {
+		t.Fatalf("-pipeline stream differs from sequential stream (%d vs %d bytes)", len(have), len(want))
+	}
+}
+
+// TestParallelFlagValidation covers the multicore flag interlocks: the
+// modes only exist on the gplus generator, -pipeline needs a stream,
+// and a sequential checkpoint cannot be resumed with -parallel.
+func TestParallelFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runGenerate([]string{"-model", "san", "-n", "50", "-parallel"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "gplus") {
+		t.Errorf("-parallel with -model san: got %v", err)
+	}
+	if err := runGenerate([]string{"-model", "gplus", "-pipeline"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "stream-out") {
+		t.Errorf("-pipeline without -stream-out: got %v", err)
+	}
+
+	// A sequential checkpoint resumed with -parallel must fail loudly
+	// rather than silently switch rng disciplines mid-run.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "seq.tl")
+	base := []string{"-model", "gplus", "-scale", "3", "-seed", "7"}
+	if err := runGenerate(append(base, "-stream-out", out, "-checkpoint-every", "10", "-stop-after", "20"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGenerate([]string{"-resume", out + ".ckpt", "-parallel"}, &buf); err == nil {
+		t.Error("-parallel resume of a sequential checkpoint must fail")
+	}
+}
+
+// TestProfileFlagsWriteFiles pins the -cpuprofile/-memprofile plumbing:
+// a tiny run must leave non-empty pprof files behind.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	if err := runGenerate([]string{"-model", "san", "-n", "200",
+		"-o", filepath.Join(dir, "out.san"), "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s missing: %v", filepath.Base(p), err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", filepath.Base(p))
+		}
+	}
+}

@@ -131,13 +131,30 @@ func (at *Attacher) NodeAdded() {
 // EdgeAdded must be called after every social edge insertion; v is the
 // edge target whose indegree increased to newIn.
 func (at *Attacher) EdgeAdded(v san.NodeID, newIn int) {
-	delta := math.Pow(float64(newIn)+1, at.Alpha) - math.Pow(float64(newIn), at.Alpha)
+	delta := at.powAlpha(float64(newIn)+1) - at.powAlpha(float64(newIn))
 	at.sumPow += delta
 	if at.Alpha == 1 {
 		at.ballot = append(at.ballot, v)
 	} else if at.generalAlpha() {
 		at.fenwick().Add(int(v), delta)
 	}
+}
+
+// powAlpha is math.Pow(x, at.Alpha) with the calibrated exponents
+// resolved arithmetically: math.Pow documents Pow(x, 0) = 1 and
+// Pow(x, 1) = x as exact identities, so the substitution is
+// bitwise-invisible — and it removes the dominant per-candidate cost
+// of exact mixture sampling, which calls this once per shared-attribute
+// candidate per draw (profiled at ~7% of a calibrated α=1 crawl-scale
+// run, growing super-linearly as communities fill toward EnumLimit).
+func (at *Attacher) powAlpha(x float64) float64 {
+	switch at.Alpha {
+	case 0:
+		return 1
+	case 1:
+		return x
+	}
+	return math.Pow(x, at.Alpha)
 }
 
 // bonusFactor returns the multiplicative attribute bonus minus one:
@@ -160,7 +177,19 @@ func (at *Attacher) bonusFactor(a int) float64 {
 // state under the configured model.  It excludes u itself and existing
 // out-neighbors of u; it returns -1 if no valid target can be found.
 func (at *Attacher) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
-	return at.sample(g, u, rng, true)
+	return at.sampleWith(at.scratch(), g, u, rng, true)
+}
+
+// SampleWith is Sample with a caller-supplied scratch arena and rng.
+// Unlike Sample it never touches the attacher's own scratch, so any
+// number of SampleWith calls may run concurrently — each with its own
+// Scratch and rng — as long as the network and the attacher's incremental
+// state are not mutated underneath them (the same frozen-graph condition
+// SampleBatch's commuting contract rests on).  The draw is a pure
+// function of (network, attacher state, rng stream): scratch contents
+// never influence the result, only allocation reuse.
+func (at *Attacher) SampleWith(scr *Scratch, g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
+	return at.sampleWith(&scr.sample, g, u, rng, true)
 }
 
 // SampleNaive is the retained reference sampler: it consumes exactly
@@ -169,12 +198,13 @@ func (at *Attacher) Sample(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID 
 // binary search.  The stream-equivalence tests pin Sample against it;
 // it is not on any hot path.
 func (at *Attacher) SampleNaive(g *san.SAN, u san.NodeID, rng *rand.Rand) san.NodeID {
-	return at.sample(g, u, rng, false)
+	return at.sampleWith(at.scratch(), g, u, rng, false)
 }
 
-// sample implements Sample and SampleNaive: identical control flow and
-// rng-draw discipline, with fast selecting the O(log n) resolvers.
-func (at *Attacher) sample(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) san.NodeID {
+// sampleWith implements Sample, SampleWith and SampleNaive: identical
+// control flow and rng-draw discipline, with fast selecting the
+// O(log n) resolvers and scr holding the mixture sampler's buffers.
+func (at *Attacher) sampleWith(scr *sampleScratch, g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) san.NodeID {
 	n := g.NumSocial()
 	if n < 2 {
 		return -1
@@ -193,7 +223,7 @@ func (at *Attacher) sample(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) 
 	// Exact mixture sampling: total weight splits into the attribute-
 	// blind base Σ(d+1)^α and the bonus carried by nodes sharing
 	// attributes with u.
-	shared, prefix, bonusTotal, baseTotal, ok := at.prepareMixture(g, u)
+	shared, prefix, bonusTotal, baseTotal, ok := at.prepareMixture(scr, g, u)
 	if !ok {
 		// Too popular to enumerate exactly; approximate.
 		if v := at.sampleHeuristic(g, u, rng); v >= 0 {
@@ -210,28 +240,28 @@ func (at *Attacher) sample(g *san.SAN, u san.NodeID, rng *rand.Rand, fast bool) 
 // split.  It reports false when u's attribute communities are too
 // popular to enumerate exactly (the caller approximates instead).  The
 // returned slices are scratch-owned and stay valid only while the
-// network does not mutate and no other prepareMixture call runs.
-func (at *Attacher) prepareMixture(g *san.SAN, u san.NodeID) (shared []sharedCand, prefix []float64, bonusTotal, baseTotal float64, ok bool) {
+// network does not mutate and no other prepareMixture call runs
+// against the same scratch.
+func (at *Attacher) prepareMixture(scr *sampleScratch, g *san.SAN, u san.NodeID) (shared []sharedCand, prefix []float64, bonusTotal, baseTotal float64, ok bool) {
 	limit := at.EnumLimit
 	if limit <= 0 {
 		limit = 4000
 	}
-	shared, ok = at.buildShared(g, u, limit)
+	shared, ok = at.buildShared(scr, g, u, limit)
 	if !ok {
 		return nil, nil, 0, 0, false
 	}
 	// Candidate weights accumulate into a prefix-sum table in node-ID
 	// order (the order the old linear scan consumed them in), so a
 	// single uniform draw binary-searches to the index the scan picks.
-	scr := at.scratch()
 	prefix = scr.prefix[:0]
 	for i := range shared {
-		w := math.Pow(float64(g.InDegree(shared[i].v))+1, at.Alpha) * at.bonusFactor(shared[i].a)
+		w := at.powAlpha(float64(g.InDegree(shared[i].v))+1) * at.bonusFactor(shared[i].a)
 		bonusTotal += w
 		prefix = append(prefix, bonusTotal)
 	}
 	scr.prefix = prefix
-	baseTotal = at.sumPow - math.Pow(float64(g.InDegree(u))+1, at.Alpha)
+	baseTotal = at.sumPow - at.powAlpha(float64(g.InDegree(u))+1)
 	if baseTotal < 0 {
 		baseTotal = 0
 	}
@@ -275,7 +305,7 @@ func (at *Attacher) SampleBatch(g *san.SAN, u san.NodeID, rng *rand.Rand, k int,
 	hoistable := attrAware && !at.Heuristic && at.Beta != 0 &&
 		g.AttrDegree(u) != 0 && g.NumSocial() >= 2
 	if hoistable {
-		if shared, prefix, bonusTotal, baseTotal, ok := at.prepareMixture(g, u); ok {
+		if shared, prefix, bonusTotal, baseTotal, ok := at.prepareMixture(at.scratch(), g, u); ok {
 			for i := 0; i < k; i++ {
 				dst = append(dst, at.mixtureDraw(g, u, rng, true, shared, prefix, bonusTotal, baseTotal))
 			}
@@ -285,7 +315,7 @@ func (at *Attacher) SampleBatch(g *san.SAN, u san.NodeID, rng *rand.Rand, k int,
 		// heuristic exactly as Sample does.
 	}
 	for i := 0; i < k; i++ {
-		dst = append(dst, at.sample(g, u, rng, true))
+		dst = append(dst, at.sampleWith(at.scratch(), g, u, rng, true))
 	}
 	return dst
 }
@@ -310,9 +340,8 @@ type sampleScratch struct {
 // with u, ordered by ascending node ID (sampling must be deterministic
 // for a fixed rng stream).  It reports false when the enumeration
 // exceeds limit.  The result is scratch-owned and valid until the next
-// call.
-func (at *Attacher) buildShared(g *san.SAN, u san.NodeID, limit int) ([]sharedCand, bool) {
-	scr := at.scratch()
+// call against the same scratch.
+func (at *Attacher) buildShared(scr *sampleScratch, g *san.SAN, u san.NodeID, limit int) ([]sharedCand, bool) {
 	if n := g.NumSocial(); len(scr.count) < n {
 		scr.count = append(scr.count, make([]int32, n-len(scr.count))...)
 	}
@@ -453,7 +482,7 @@ func (at *Attacher) drawBase(g *san.SAN, rng *rand.Rand, fast bool) san.NodeID {
 	var cum float64
 	last := t.Len() - 1
 	for v := 0; v <= last; v++ {
-		cum += math.Pow(float64(g.InDegree(san.NodeID(v)))+1, at.Alpha)
+		cum += at.powAlpha(float64(g.InDegree(san.NodeID(v))) + 1)
 		if cum > x {
 			return san.NodeID(v)
 		}
@@ -478,13 +507,13 @@ func (at *Attacher) sampleHeuristic(g *san.SAN, u san.NodeID, rng *rand.Rand) sa
 	// Rejection envelope over the attribute community, from the SAN's
 	// incrementally maintained per-attribute in-degree maximum (the
 	// historical member-list scan, at O(1)).
-	env := math.Pow(float64(g.MaxMemberInDegree(a))+1, at.Alpha)
+	env := at.powAlpha(float64(g.MaxMemberInDegree(a)) + 1)
 	for tries := 0; tries < 256; tries++ {
 		v := members[rng.IntN(len(members))]
 		if v == u || g.HasSocialEdge(u, v) {
 			continue
 		}
-		w := math.Pow(float64(g.InDegree(v))+1, at.Alpha)
+		w := at.powAlpha(float64(g.InDegree(v)) + 1)
 		if rng.Float64()*env <= w {
 			return v
 		}

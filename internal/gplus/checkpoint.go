@@ -36,9 +36,16 @@ import (
 // checkpoint (cmd/sangen stores it in the checkpoint's JSON header) and
 // must pass the identical one to ReadSimulator; resumed runs do not
 // replay trace events from before the checkpoint.
+// Version 2 adds the split scheduler's substream identity right after
+// the version byte: a mode flag and the derivation salt the per-event
+// substreams are minted from.  Both are derivable from the Config, but
+// carrying them makes mode drift fail loudly at resume time — a split
+// checkpoint resumed under the sequential discipline (or under a
+// different seed's salt) would silently produce a network from neither
+// stream.  Version 1 checkpoints (always sequential) still load.
 const (
 	stateMagic   = "GPCK"
-	stateVersion = 1
+	stateVersion = 2
 )
 
 // WriteState serializes the simulator's complete resumable state.  It
@@ -48,6 +55,13 @@ func (s *Simulator) WriteState(w io.Writer) error {
 	sw := &stateWriter{w: w}
 	sw.bytes([]byte(stateMagic))
 	sw.u8(stateVersion)
+	if s.Cfg.parallelDraws() {
+		sw.u8(1)
+		sw.uvarint(splitmix64(s.Cfg.Seed))
+	} else {
+		sw.u8(0)
+		sw.uvarint(0)
+	}
 
 	rng, err := s.rngSrc.MarshalBinary()
 	if err != nil {
@@ -170,8 +184,25 @@ func ReadSimulator(cfg Config, r io.Reader, sc *Scratch) (*Simulator, error) {
 	if sr.err == nil && string(magic[:]) != stateMagic {
 		return nil, fmt.Errorf("gplus: not a checkpoint state (magic %q)", magic[:])
 	}
-	if v := sr.u8(); sr.err == nil && v != stateVersion {
+	v := sr.u8()
+	if sr.err == nil && (v < 1 || v > stateVersion) {
 		return nil, fmt.Errorf("gplus: unsupported checkpoint state version %d", v)
+	}
+	if v >= 2 {
+		mode := sr.u8()
+		salt := sr.uvarint()
+		if sr.err == nil {
+			if (mode == 1) != cfg.parallelDraws() {
+				have := RngSeq
+				if mode == 1 {
+					have = RngSplit
+				}
+				return nil, fmt.Errorf("gplus: checkpoint was written in %s rng mode; resume with the same RngMode (config says %q)", have, cfg.RngMode)
+			}
+			if mode == 1 && salt != splitmix64(cfg.Seed) {
+				return nil, fmt.Errorf("gplus: checkpoint substream salt does not match the config seed (checkpoint/config drift)")
+			}
+		}
 	}
 
 	src := rand.NewPCG(0, 0)

@@ -1,0 +1,213 @@
+package gplus
+
+import (
+	"container/heap"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/san"
+	"repro/internal/trace"
+)
+
+// Split-mode scheduler (Config.RngMode = RngSplit).
+//
+// The sequential event loop consumes one rng stream in strict event
+// order, which makes every draw depend on every draw before it — the
+// discipline that pins the golden outputs, and the reason the loop
+// cannot parallelize.  Split mode removes that dependency: every event
+// draws from its own PCG substream, derived deterministically from
+// (Seed, day, event index, lane).  A day then runs as
+//
+//  1. arrivals, sequentially on the main stream (arrival mechanics —
+//     kind/inviter/attribute draws — are order-dependent by design and
+//     a small fraction of the day's work);
+//  2. repeated *batches*: every event currently due is popped from the
+//     heap in canonical time order, the wake-ups' link proposals are
+//     drawn concurrently by a worker pool against the graph frozen at
+//     batch start (phase A, read-only, "draw" lane), and the mutations
+//     are applied sequentially in that same canonical order (phase B,
+//     "apply" lane).  Events the applications schedule inside the same
+//     day form the next batch, so cascades drain exactly as the
+//     sequential loop drains them.
+//
+// Because each proposal reads only the frozen graph and its private
+// substream, the result is independent of GOMAXPROCS, worker count and
+// interleaving: partitioning the batch differently partitions identical
+// computations.  The apply lane reseeds one generator per event, so no
+// substream state survives an event — which is why a checkpoint taken
+// at a day boundary needs no extra scheduler state beyond the mode and
+// derivation salt (GPCK v2).
+//
+// This extends core.Attacher.SampleBatch's commuting contract from "k
+// draws for one source between mutations" to "all due events' draws
+// between batch boundaries": the enumeration work commutes past the
+// draws because nothing mutates while they run.
+
+// Substream lanes separate a wake event's read-only proposal draws
+// (phase A) from its mutation draws (phase B), so the two phases never
+// share a stream position.
+const (
+	laneDraw  uint64 = 0x5d
+	laneApply uint64 = 0xa7
+)
+
+// splitBatchMin is the batch size below which phase A runs inline:
+// tiny cascades are not worth the goroutine handoff.
+const splitBatchMin = 64
+
+// splitmix64 is the SplitMix64 finalizer, the standard mixer for
+// deriving independent seed material from structured counters.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// linkProp is one wake-up's proposed link.
+type linkProp struct {
+	v    san.NodeID
+	kind trace.Kind
+}
+
+// splitWorker is one phase-A worker: a reseedable PCG source and a
+// private scratch arena (attacher buffers + neighbor cache).  Scratch
+// contents never influence a proposal — only which allocations get
+// reused — so worker identity cannot leak into results.
+type splitWorker struct {
+	src *rand.PCG
+	rng *rand.Rand
+	scr *Scratch
+}
+
+// splitSched is the split-mode day scheduler.
+type splitSched struct {
+	salt     uint64 // substream derivation salt, splitmix64(Seed)
+	workers  []*splitWorker
+	batch    []event
+	props    []linkProp
+	applySrc *rand.PCG
+	applyRng *rand.Rand
+}
+
+// splitSched lazily builds the scheduler: workers are sized to the
+// GOMAXPROCS in effect at first use (the count never affects results,
+// only wall-clock).
+func (s *Simulator) splitSched() *splitSched {
+	if s.split == nil {
+		applySrc := rand.NewPCG(0, 0)
+		st := &splitSched{
+			salt:     splitmix64(s.Cfg.Seed),
+			applySrc: applySrc,
+			applyRng: rand.New(applySrc),
+		}
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			src := rand.NewPCG(0, 0)
+			st.workers = append(st.workers, &splitWorker{
+				src: src,
+				rng: rand.New(src),
+				scr: NewScratch(),
+			})
+		}
+		s.split = st
+	}
+	return s.split
+}
+
+// substream derives the two PCG seed words for one (day, event, lane)
+// triple.  Chained SplitMix64 finalizers keep distinct triples on
+// effectively independent streams.
+func (st *splitSched) substream(day, idx int, lane uint64) (uint64, uint64) {
+	h := splitmix64(st.salt ^ uint64(day)<<8 ^ lane)
+	lo := splitmix64(h ^ uint64(idx))
+	return lo, splitmix64(lo ^ 0x6a09e667f3bcc909)
+}
+
+// simDaySplit runs one day under the split scheduler; see the package
+// comment above for the phase structure.  On return the simulator is in
+// the same checkpoint-clean day-boundary state the sequential day loop
+// leaves (empty due-event frontier, s.now at the boundary).
+func (s *Simulator) simDaySplit(day int) {
+	st := s.splitSched()
+	arrivals := s.Cfg.ArrivalsOn(day)
+	for i := 0; i < arrivals; i++ {
+		t := float64(day-1) + float64(i)/float64(arrivals)
+		s.now = t
+		s.arrive(t)
+	}
+	bound := float64(day)
+	idx := 0
+	for len(s.events) > 0 && s.events[0].t <= bound {
+		batch := st.batch[:0]
+		for len(s.events) > 0 && s.events[0].t <= bound {
+			batch = append(batch, heap.Pop(&s.events).(event))
+		}
+		st.batch = batch
+		st.propose(s, day, idx)
+		for k, e := range batch {
+			s.now = e.t
+			st.applySrc.Seed(st.substream(day, idx+k, laneApply))
+			switch e.kind {
+			case evWake:
+				if p := st.props[k]; p.v >= 0 {
+					s.addEdgeRng(e.u, p.v, p.kind, st.applyRng)
+				}
+				s.scheduleWake(e.u, e.t, st.applyRng)
+			case evRecip:
+				s.maybeReciprocate(e.u, e.v, e.t, st.applyRng)
+			}
+		}
+		idx += len(batch)
+	}
+	s.now = bound
+}
+
+// propose fills st.props[k] for every wake event in st.batch (phase A).
+// Each proposal seeds the worker's source with the event's own draw
+// substream, so the contiguous-chunk partition below is pure load
+// balancing: any partition computes the same proposals.
+func (st *splitSched) propose(s *Simulator, day, idx int) {
+	batch := st.batch
+	if cap(st.props) < len(batch) {
+		st.props = make([]linkProp, len(batch))
+	}
+	st.props = st.props[:len(batch)]
+	run := func(w *splitWorker, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			e := batch[k]
+			if e.kind != evWake {
+				continue
+			}
+			w.src.Seed(st.substream(day, idx+k, laneDraw))
+			v, kind := s.proposeLink(e.u, e.t, w.rng, w.scr)
+			st.props[k] = linkProp{v: v, kind: kind}
+		}
+	}
+	if len(batch) < splitBatchMin || len(st.workers) == 1 {
+		run(st.workers[0], 0, len(batch))
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(batch) + len(st.workers) - 1) / len(st.workers)
+	for i, w := range st.workers {
+		lo := i * chunk
+		if lo >= len(batch) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		wg.Add(1)
+		go func(w *splitWorker, lo, hi int) {
+			defer wg.Done()
+			run(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,260 @@
+package gplus
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/snapstore"
+)
+
+func splitConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 40
+	cfg.DailyBase = 120
+	cfg.RngMode = RngSplit
+	return cfg
+}
+
+// TestSplitModeDeterministicAcrossGOMAXPROCS is the core contract of
+// the split rng discipline: because every event draws from a substream
+// derived only from (seed, day, event index) — never from which worker
+// ran it — the packed bytes cannot depend on the degree of parallelism.
+func TestSplitModeDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := splitConfig()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	var want []byte
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		full, view := snapstore.NewBuilder(), snapstore.NewBuilder()
+		packBoth(t, New(cfg), 1, 0, full, view)
+		got := append(timelineBytes(t, full), timelineBytes(t, view)...)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("GOMAXPROCS=%d: packed bytes diverge from GOMAXPROCS=1 run", procs)
+		}
+	}
+}
+
+// TestSplitModeRepeatedRunsIdentical pins run-to-run determinism of the
+// parallel path; under `go test -race` it also exercises the worker
+// pool for data races on the frozen day-start graph.
+func TestSplitModeRepeatedRunsIdentical(t *testing.T) {
+	cfg := splitConfig()
+	var want []byte
+	for run := 0; run < 3; run++ {
+		full, view := snapstore.NewBuilder(), snapstore.NewBuilder()
+		packBoth(t, New(cfg), 1, 0, full, view)
+		got := append(timelineBytes(t, full), timelineBytes(t, view)...)
+		if run == 0 {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("run %d: split-mode packed bytes differ from run 0", run)
+		}
+	}
+}
+
+// TestSequentialUnaffectedBySplitCode pins the bitwise freeze of the
+// default path: an explicit RngMode of "seq" and the zero value must
+// produce identical bytes (the split machinery must be dead code for
+// both).
+func TestSequentialUnaffectedBySplitCode(t *testing.T) {
+	cfgZero := splitConfig()
+	cfgZero.RngMode = ""
+	cfgSeq := cfgZero
+	cfgSeq.RngMode = RngSeq
+
+	fz, vz := snapstore.NewBuilder(), snapstore.NewBuilder()
+	packBoth(t, New(cfgZero), 1, 0, fz, vz)
+	fs, vs := snapstore.NewBuilder(), snapstore.NewBuilder()
+	packBoth(t, New(cfgSeq), 1, 0, fs, vs)
+
+	if !bytes.Equal(timelineBytes(t, fz), timelineBytes(t, fs)) ||
+		!bytes.Equal(timelineBytes(t, vz), timelineBytes(t, vs)) {
+		t.Error(`RngMode "" and "seq" packed different bytes`)
+	}
+}
+
+// TestSplitModeDistributionEquivalence checks that the split discipline
+// samples from (statistically) the same model as the sequential path:
+// it is a different but equally valid draw.  Arrivals come off the main
+// stream in both modes, so population counts match exactly; link
+// formation is re-randomized per event, so volume and mix are compared
+// within tolerances measured against the cross-seed spread of the
+// sequential model itself (seq seeds 1 vs 2 differ by more than these
+// bounds allow split to drift from its own seed's seq run).
+func TestSplitModeDistributionEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DailyBase = 100
+
+	seq := New(cfg)
+	seq.Run(nil)
+
+	cfg.RngMode = RngSplit
+	par := New(cfg)
+	par.Run(nil)
+
+	if got, want := par.G.NumSocial(), seq.G.NumSocial(); got != want {
+		t.Fatalf("split NumSocial = %d, want exactly %d (arrivals are main-stream)", got, want)
+	}
+	if got, want := par.G.NumAttrs(), seq.G.NumAttrs(); got == 0 || want == 0 {
+		t.Fatalf("degenerate attribute catalogs: split %d, seq %d", got, want)
+	}
+
+	relClose := func(name string, got, want, tol float64) {
+		t.Helper()
+		if want == 0 {
+			t.Fatalf("%s: sequential value is zero", name)
+		}
+		if r := math.Abs(got-want) / want; r > tol {
+			t.Errorf("%s: split %.4g vs seq %.4g (rel diff %.2f > %.2f)", name, got, want, r, tol)
+		}
+	}
+	relClose("social links", float64(par.G.NumSocialEdges()), float64(seq.G.NumSocialEdges()), 0.15)
+	relClose("attr links", float64(par.G.NumAttrEdges()), float64(seq.G.NumAttrEdges()), 0.15)
+	relClose("reciprocity", par.G.Reciprocity(), seq.G.Reciprocity(), 0.15)
+	relClose("clustering",
+		metrics.AverageSocialClusteringExact(par.G),
+		metrics.AverageSocialClusteringExact(seq.G), 0.25)
+
+	// Degree-mass distribution: the share of links held by the top 1% of
+	// nodes tracks the heavy tail that the model exists to reproduce.
+	topShare := func(degs []int) float64 {
+		total, top := 0, 0
+		max := 0
+		for _, d := range degs {
+			total += d
+			if d > max {
+				max = d
+			}
+		}
+		cut := len(degs) / 100
+		if cut < 1 {
+			cut = 1
+		}
+		// nth largest via a coarse histogram pass (degrees are small ints).
+		hist := make([]int, max+1)
+		for _, d := range degs {
+			hist[d]++
+		}
+		thresh, seen := max, 0
+		for d := max; d >= 0; d-- {
+			seen += hist[d]
+			if seen >= cut {
+				thresh = d
+				break
+			}
+		}
+		for _, d := range degs {
+			if d >= thresh {
+				top += d
+			}
+		}
+		return float64(top) / float64(total)
+	}
+	relClose("top-1% degree share",
+		topShare(metrics.OutDegrees(par.G)), topShare(metrics.OutDegrees(seq.G)), 0.25)
+	relClose("mean attr degree",
+		meanInt(metrics.AttrDegrees(par.G)), meanInt(metrics.AttrDegrees(seq.G)), 0.15)
+}
+
+func meanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// TestSplitCheckpointResumeDeterminism extends the core resume
+// guarantee to the parallel path: a split-mode run checkpointed at day
+// k and resumed in a fresh simulator produces packed timelines
+// bitwise-identical to the uninterrupted split-mode run.
+func TestSplitCheckpointResumeDeterminism(t *testing.T) {
+	cfg := splitConfig()
+
+	refFull, refView := snapstore.NewBuilder(), snapstore.NewBuilder()
+	packBoth(t, New(cfg), 1, 0, refFull, refView)
+	wantFull := timelineBytes(t, refFull)
+	wantView := timelineBytes(t, refView)
+
+	for _, k := range []int{1, 13, cfg.Days - 1} {
+		gotFull, gotView := snapstore.NewBuilder(), snapstore.NewBuilder()
+
+		first := New(cfg)
+		packBoth(t, first, 1, k, gotFull, gotView)
+		var state bytes.Buffer
+		if err := first.WriteState(&state); err != nil {
+			t.Fatalf("WriteState at day %d: %v", k, err)
+		}
+		resumed, err := ReadSimulator(cfg, &state, NewScratch())
+		if err != nil {
+			t.Fatalf("ReadSimulator at day %d: %v", k, err)
+		}
+		packBoth(t, resumed, k+1, 0, gotFull, gotView)
+
+		if !bytes.Equal(timelineBytes(t, gotFull), wantFull) {
+			t.Errorf("split checkpoint at day %d: full timeline diverges", k)
+		}
+		if !bytes.Equal(timelineBytes(t, gotView), wantView) {
+			t.Errorf("split checkpoint at day %d: view timeline diverges", k)
+		}
+	}
+}
+
+// TestCheckpointRngModeMismatch pins the guard that a checkpoint can
+// only be resumed under the rng discipline that wrote it: the two modes
+// draw different streams, so a silent crossover would corrupt the run's
+// determinism contract.
+func TestCheckpointRngModeMismatch(t *testing.T) {
+	seqCfg := ckptConfig()
+	splitCfg := seqCfg
+	splitCfg.RngMode = RngSplit
+
+	for _, c := range []struct {
+		name        string
+		write, read Config
+	}{
+		{"seq checkpoint, split resume", seqCfg, splitCfg},
+		{"split checkpoint, seq resume", splitCfg, seqCfg},
+	} {
+		s := New(c.write)
+		s.runRange(1, 5, nil)
+		var state bytes.Buffer
+		if err := s.WriteState(&state); err != nil {
+			t.Fatalf("%s: WriteState: %v", c.name, err)
+		}
+		_, err := ReadSimulator(c.read, &state, NewScratch())
+		if err == nil {
+			t.Errorf("%s: ReadSimulator accepted a cross-mode checkpoint", c.name)
+		} else if !strings.Contains(err.Error(), "rng mode") {
+			t.Errorf("%s: error does not mention the rng mode: %v", c.name, err)
+		}
+	}
+}
+
+// TestSplitConfigValidation pins the RngMode vocabulary.
+func TestSplitConfigValidation(t *testing.T) {
+	for _, mode := range []string{"", RngSeq, RngSplit} {
+		cfg := DefaultConfig()
+		cfg.RngMode = mode
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("RngMode %q rejected: %v", mode, err)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.RngMode = "parallel"
+	if err := cfg.Validate(); err == nil {
+		t.Error(`RngMode "parallel" accepted; want a validation error`)
+	}
+}

@@ -1,0 +1,205 @@
+package gplus
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/san"
+	"repro/internal/snapstore"
+)
+
+func pipeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 30
+	cfg.DailyBase = 100
+	return cfg
+}
+
+// packPipelined mirrors packBoth on the pipelined entry point.
+func packPipelined(t *testing.T, s *Simulator, full, view snapstore.DaySink, barrier func(int) bool, onBarrier func(int) error) {
+	t.Helper()
+	if err := s.StreamTimelinesPipelined(1, 0, full, view, barrier, onBarrier); err != nil {
+		t.Fatalf("StreamTimelinesPipelined: %v", err)
+	}
+}
+
+// TestPipelinedMatchesSequentialBytes is the byte oracle for the
+// pipelined streaming path, in every sink configuration: the encoder
+// sees exactly the day-end sequence the sequential path feeds it, so
+// the packed bytes must be identical — full (which degrades to the
+// sequential path), view, and both.
+func TestPipelinedMatchesSequentialBytes(t *testing.T) {
+	cfg := pipeConfig()
+
+	for _, mode := range []string{"full", "view", "both"} {
+		t.Run(mode, func(t *testing.T) {
+			var seqFull, seqView, pipFull, pipView *snapstore.Builder
+			if mode != "view" {
+				seqFull, pipFull = snapstore.NewBuilder(), snapstore.NewBuilder()
+			}
+			if mode != "full" {
+				seqView, pipView = snapstore.NewBuilder(), snapstore.NewBuilder()
+			}
+
+			seq := New(cfg)
+			if err := seq.StreamTimelines(1, 0, sinkOrNil(seqFull), sinkOrNil(seqView), nil); err != nil {
+				t.Fatalf("StreamTimelines: %v", err)
+			}
+			packPipelined(t, New(cfg), sinkOrNil(pipFull), sinkOrNil(pipView), nil, nil)
+
+			if seqFull != nil && !bytes.Equal(timelineBytes(t, seqFull), timelineBytes(t, pipFull)) {
+				t.Error("pipelined full timeline diverges from sequential bytes")
+			}
+			if seqView != nil && !bytes.Equal(timelineBytes(t, seqView), timelineBytes(t, pipView)) {
+				t.Error("pipelined view timeline diverges from sequential bytes")
+			}
+		})
+	}
+}
+
+// sinkOrNil avoids the typed-nil interface trap when a Builder slot is
+// intentionally absent.
+func sinkOrNil(b *snapstore.Builder) snapstore.DaySink {
+	if b == nil {
+		return nil
+	}
+	return b
+}
+
+// TestPipelinedSplitMatchesDirectSplit pins the layer-1 × layer-2
+// composition: pipelined packing of a split-mode run produces the same
+// bytes as unpipelined packing of that split-mode run.
+func TestPipelinedSplitMatchesDirectSplit(t *testing.T) {
+	cfg := pipeConfig()
+	cfg.RngMode = RngSplit
+
+	seqFull, seqView := snapstore.NewBuilder(), snapstore.NewBuilder()
+	packBoth(t, New(cfg), 1, 0, seqFull, seqView)
+
+	pipFull, pipView := snapstore.NewBuilder(), snapstore.NewBuilder()
+	packPipelined(t, New(cfg), pipFull, pipView, nil, nil)
+
+	if !bytes.Equal(timelineBytes(t, seqFull), timelineBytes(t, pipFull)) {
+		t.Error("pipelined split-mode full timeline diverges")
+	}
+	if !bytes.Equal(timelineBytes(t, seqView), timelineBytes(t, pipView)) {
+		t.Error("pipelined split-mode view timeline diverges")
+	}
+}
+
+// countingSink wraps a Builder and records how many days were packed,
+// so barrier tests can assert the drain guarantee: when onBarrier runs,
+// every prior day has already been appended.
+type countingSink struct {
+	b    *snapstore.Builder
+	days int
+}
+
+func (c *countingSink) Append(g *san.SAN) error {
+	if err := c.b.Append(g); err != nil {
+		return err
+	}
+	c.days++
+	return nil
+}
+
+func (c *countingSink) PackedBytes() int { return c.b.PackedBytes() }
+
+// TestPipelinedBarrierDrains verifies the checkpoint window contract
+// on the live pipeline (a view sink keeps the stage goroutines in
+// play): at each barrier day the pipeline is quiescent and every day
+// up to and including the barrier day is packed before onBarrier runs.
+func TestPipelinedBarrierDrains(t *testing.T) {
+	cfg := pipeConfig()
+	sink := &countingSink{b: snapstore.NewBuilder()}
+	var barrierDays []int
+
+	packPipelined(t, New(cfg), nil, sink,
+		func(day int) bool { return day%7 == 0 },
+		func(day int) error {
+			if sink.days != day {
+				t.Errorf("barrier at day %d: only %d days packed", day, sink.days)
+			}
+			barrierDays = append(barrierDays, day)
+			return nil
+		})
+
+	want := []int{7, 14, 21, 28}
+	if len(barrierDays) != len(want) {
+		t.Fatalf("barriers ran at %v, want %v", barrierDays, want)
+	}
+	for i, d := range want {
+		if barrierDays[i] != d {
+			t.Fatalf("barriers ran at %v, want %v", barrierDays, want)
+		}
+	}
+}
+
+// failingSink errors on the Nth append.
+type failingSink struct {
+	b      *snapstore.Builder
+	failAt int
+	n      int
+}
+
+var errSinkBoom = errors.New("sink boom")
+
+func (f *failingSink) Append(g *san.SAN) error {
+	f.n++
+	if f.n == f.failAt {
+		return errSinkBoom
+	}
+	return f.b.Append(g)
+}
+
+func (f *failingSink) PackedBytes() int { return f.b.PackedBytes() }
+
+// TestPipelinedSinkErrorStopsRun pins error propagation in both
+// regimes: a full-only failure surfaces through the sequential
+// degradation, and a view failure crosses the live stage boundary.
+// Either way the failing day is named and the simulator does not run
+// to the horizon.
+func TestPipelinedSinkErrorStopsRun(t *testing.T) {
+	cfg := pipeConfig()
+	for _, mode := range []string{"full", "view"} {
+		t.Run(mode, func(t *testing.T) {
+			s := New(cfg)
+			bad := &failingSink{b: snapstore.NewBuilder(), failAt: 5}
+			var err error
+			if mode == "full" {
+				err = s.StreamTimelinesPipelined(1, 0, bad, nil, nil, nil)
+			} else {
+				err = s.StreamTimelinesPipelined(1, 0, nil, bad, nil, nil)
+			}
+			if !errors.Is(err, errSinkBoom) {
+				t.Fatalf("err = %v, want errSinkBoom", err)
+			}
+			if !strings.Contains(err.Error(), "day 5") {
+				t.Errorf("error %q does not name the failing day", err)
+			}
+			if s.Day() >= cfg.Days {
+				t.Errorf("simulator ran to the horizon (day %d) despite a day-5 sink failure", s.Day())
+			}
+		})
+	}
+}
+
+// TestPipelinedBarrierErrorStopsRun pins that an onBarrier failure (a
+// checkpoint that cannot be persisted) stops the run at that boundary,
+// through the live pipeline's drain token.
+func TestPipelinedBarrierErrorStopsRun(t *testing.T) {
+	cfg := pipeConfig()
+	s := New(cfg)
+	boom := errors.New("checkpoint boom")
+	err := s.StreamTimelinesPipelined(1, 0, nil, snapstore.NewBuilder(),
+		func(day int) bool { return day == 9 },
+		func(day int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want checkpoint boom", err)
+	}
+	if s.Day() != 9 {
+		t.Errorf("Day() = %d after a day-9 barrier failure, want 9", s.Day())
+	}
+}

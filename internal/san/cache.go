@@ -3,9 +3,10 @@ package san
 // NeighborCache memoizes SocialNeighbors union lists per node.  The
 // simulator's triangle-closing step repeatedly asks for the
 // neighborhood of the same popular intermediates between graph
-// mutations; the cache rebuilds a node's list only when the node's
-// degrees changed since it was last built, and each rebuild is a
-// mark-stamped two-pass merge — O(deg) writes, no membership probes.
+// mutations; the cache builds a node's list once with a mark-stamped
+// two-pass merge and then, because adjacency is append-only, keeps it
+// current with incremental edits proportional to the degree change —
+// never a second full O(deg) rebuild.
 //
 // A cache serves one goroutine and one evolving SAN at a time.  Reset
 // it before pointing it at a different SAN (stamps are keyed by
@@ -38,6 +39,45 @@ func (c *NeighborCache) Neighbors(g *SAN, u NodeID) []NodeID {
 	if c.stamps[u] == cur {
 		return c.lists[u]
 	}
+	// Adjacency is append-only, so a stale list updates in place instead
+	// of rebuilding: the cached list is out ++ T where T filters
+	// in[:prevIn] against the out-list as of the last build.  New
+	// in-entries append (skipping current out-neighbors), and new
+	// out-entries splice in at the out/in boundary while dropping their
+	// duplicates from T.  Both produce the exact element sequence a full
+	// rebuild would.  This is what keeps total cache cost near-linear as
+	// hub degrees grow with network size: a celebrity gaining followers
+	// between every two lookups pays O(Δin · log deg) appends, and a
+	// waking node adding a link pays one sequential splice — not the
+	// O(deg) mark-and-merge over two scattered adjacency lists.
+	if prev := c.stamps[u]; prev != 0 {
+		prevOut := int((prev - 1) >> 32)
+		prevIn := int(uint32(prev - 1))
+		lst := c.lists[u]
+		if delta := out[prevOut:]; len(delta) > 0 {
+			// Filter Δout's members out of the old in-tail (they were
+			// in-only neighbors, now out-neighbors too), then splice
+			// Δout in after the out prefix.
+			w := prevOut
+			for _, v := range lst[prevOut:] {
+				if !sliceHas(delta, v) {
+					lst[w] = v
+					w++
+				}
+			}
+			lst = append(lst[:w], delta...)
+			copy(lst[prevOut+len(delta):], lst[prevOut:w])
+			copy(lst[prevOut:], delta)
+		}
+		for _, v := range in[prevIn:] {
+			if !containsID(g.outSorted[u], v) {
+				lst = append(lst, v)
+			}
+		}
+		c.lists[u] = lst
+		c.stamps[u] = cur
+		return lst
+	}
 	if n := g.NumSocial(); len(c.mark) < n {
 		c.mark = append(c.mark, make([]uint32, n-len(c.mark))...)
 	}
@@ -60,4 +100,15 @@ func (c *NeighborCache) Neighbors(g *SAN, u NodeID) []NodeID {
 	c.lists[u] = lst
 	c.stamps[u] = cur
 	return lst
+}
+
+// sliceHas reports membership by linear probe: Δout between two cache
+// touches of the same node is almost always a single edge.
+func sliceHas(s []NodeID, v NodeID) bool {
+	for _, w := range s {
+		if w == v {
+			return true
+		}
+	}
+	return false
 }

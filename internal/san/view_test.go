@@ -179,3 +179,63 @@ func TestAdjacencyArenaIntegrity(t *testing.T) {
 		t.Fatalf("clone invalid after growth: %v", err)
 	}
 }
+
+// TestNeighborCacheIncrementalPaths drives the append-only update
+// paths of the cache explicitly: in-only growth (hub pattern), out
+// growth (wake pattern), and the delicate case of a new out-edge to a
+// node that was already an in-only neighbor — its tail entry must move
+// into the out prefix exactly where a full rebuild would place it.
+func TestNeighborCacheIncrementalPaths(t *testing.T) {
+	g := New(0, 0, 0)
+	g.AddSocialNodes(64)
+	var c NeighborCache
+	check := func(step string, u NodeID) {
+		t.Helper()
+		got := c.Neighbors(g, u)
+		want := g.SocialNeighbors(u)
+		if len(got) != len(want) {
+			t.Fatalf("%s: node %d has %d cached neighbors, want %d", step, u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: node %d order diverges at %d: %v vs %v", step, u, i, got, want)
+			}
+		}
+	}
+
+	// Seed and build node 0's list once.
+	g.AddSocialEdge(0, 1)
+	g.AddSocialEdge(2, 0)
+	check("initial build", 0)
+
+	// Hub pattern: only in-degree grows between lookups.
+	for v := NodeID(3); v < 10; v++ {
+		g.AddSocialEdge(v, 0)
+		check("in-only growth", 0)
+	}
+
+	// Wake pattern: only out-degree grows.
+	for v := NodeID(10); v < 16; v++ {
+		g.AddSocialEdge(0, v)
+		check("out-only growth", 0)
+	}
+
+	// Reciprocation: 5 is an in-only neighbor of 0 (5 -> 0 above);
+	// adding 0 -> 5 must relocate it from the in-tail to the out prefix.
+	g.AddSocialEdge(0, 5)
+	check("out-edge to in-only neighbor", 0)
+
+	// Both lists grow between two lookups, including another overlap.
+	g.AddSocialEdge(0, 20)
+	g.AddSocialEdge(21, 0)
+	g.AddSocialEdge(0, 7) // 7 was in-only
+	g.AddSocialEdge(22, 0)
+	check("mixed growth with overlap", 0)
+
+	// A stale entry far behind (many updates since last lookup).
+	for v := NodeID(30); v < 50; v++ {
+		g.AddSocialEdge(v, 0)
+		g.AddSocialEdge(0, v+14)
+	}
+	check("bulk catch-up", 0)
+}
